@@ -1,0 +1,231 @@
+// Package repro_test holds the repository-level benchmarks: one per paper
+// table and figure (regenerating the artifact each iteration at a reduced
+// scale), per-analysis event throughput, vindication, and the SmartTrack
+// ablation. cmd/racebench produces the full-scale tables; these benchmarks
+// track the cost of producing them and the per-event costs the paper's
+// run-time tables derive from.
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/vindicate"
+	"repro/internal/workload"
+	"repro/race"
+
+	"repro/internal/unopt"
+
+	_ "repro/internal/ft"
+	_ "repro/internal/fto"
+)
+
+// benchScale keeps each iteration fast enough for -bench=. on a laptop
+// while exercising every code path; cmd/racebench uses 4000.
+const benchScale = 200000
+
+// benchTrace caches one mid-size workload for the per-analysis benchmarks.
+var benchTrace = func() *trace.Trace {
+	p, _ := workload.ProgramByName("avrora")
+	return p.Generate(80000, 1)
+}()
+
+// BenchmarkAnalysis measures per-event cost of every analysis in Table 1
+// over the avrora-calibrated workload (the quantity behind Tables 3–6).
+func BenchmarkAnalysis(b *testing.B) {
+	for _, entry := range analysis.All() {
+		entry := entry
+		b.Run(entry.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := entry.New(benchTrace)
+				for _, e := range benchTrace.Events {
+					a.Handle(e)
+				}
+			}
+			b.ReportMetric(float64(benchTrace.Len()), "events/op")
+		})
+	}
+}
+
+// BenchmarkUninstrumentedReplay is the baseline the slowdown factors in
+// Tables 3–5 divide by.
+func BenchmarkUninstrumentedReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.MeasureBaseline(benchTrace)
+	}
+}
+
+func BenchmarkTable1Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Characteristics(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable2(cfg); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3Baselines(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale, Programs: []string{"avrora", "pmd", "xalan"}}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable3(cfg, false); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable4Geomean(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale, Programs: []string{"avrora", "pmd", "xalan"}}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable4(cfg); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable5RunTime(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale, Programs: []string{"h2", "luindex"}}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable5(cfg, false); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable6Memory(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale, Programs: []string{"h2", "luindex"}}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable6(cfg, false); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable7Races(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale, Programs: []string{"sunflow", "jython"}}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable7(cfg, false); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable8to11ConfidenceIntervals(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale, Trials: 3, Programs: []string{"pmd"}}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable7(cfg, true); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable12Cases(b *testing.B) {
+	cfg := bench.Config{ScaleDiv: benchScale}
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderTable12(cfg); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigures regenerates the Figure 1–4 verdicts (all analyses over
+// all example executions plus vindication).
+func BenchmarkFigures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := bench.RenderFigures(); len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkVindication measures witness construction on workload races.
+func BenchmarkVindication(b *testing.B) {
+	p, _ := workload.ProgramByName("pmd")
+	tr := p.Generate(80000, 3)
+	a := unopt.NewPredictive(analysis.WDC, tr, true)
+	for _, e := range tr.Events {
+		a.Handle(e)
+	}
+	races := a.Races().Races()
+	if len(races) == 0 {
+		b.Fatal("no races to vindicate")
+	}
+	g := a.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := races[i%len(races)]
+		vindicate.Race(tr, g, r.Index, vindicate.Options{Seed: int64(i)})
+	}
+}
+
+// BenchmarkAblationAcquireQueues isolates SmartTrack's final optimization
+// (§4.2): epoch-valued rule (b) acquire queues versus Algorithm 1/2-style
+// vector-clock queues.
+func BenchmarkAblationAcquireQueues(b *testing.B) {
+	p, _ := workload.ProgramByName("h2") // highest lock pressure
+	tr := p.Generate(80000, 1)
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"epoch-queues", core.Options{}},
+		{"vc-queues", core.Options{VectorAcquireQueues: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := core.NewWithOptions(analysis.DC, tr, cfg.opts)
+				for _, e := range tr.Events {
+					a.Handle(e)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeRecording measures the public Runtime's per-event
+// recording overhead (the paper's record phase, §4.3).
+func BenchmarkRuntimeRecording(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt := race.NewRuntime()
+		t1 := rt.Main()
+		rt.Acquire(t1, "m")
+		for j := 0; j < 100; j++ {
+			rt.Read(t1, "x")
+			rt.Write(t1, "x")
+		}
+		rt.Release(t1, "m")
+	}
+}
+
+// TestAblationEquivalence pins down that the ablation toggle does not
+// change results, only costs.
+func TestAblationEquivalence(t *testing.T) {
+	p, _ := workload.ProgramByName("jython")
+	tr := p.Generate(400000, 5)
+	a := core.New(analysis.DC, tr)
+	v := core.NewWithOptions(analysis.DC, tr, core.Options{VectorAcquireQueues: true})
+	for _, e := range tr.Events {
+		a.Handle(e)
+		v.Handle(e)
+	}
+	if a.Races().Static() != v.Races().Static() || a.Races().Dynamic() != v.Races().Dynamic() {
+		t.Fatalf("ablation changed results: %d/%d vs %d/%d",
+			a.Races().Static(), a.Races().Dynamic(), v.Races().Static(), v.Races().Dynamic())
+	}
+}

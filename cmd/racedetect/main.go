@@ -1,0 +1,104 @@
+// Command racedetect runs a race detection analysis over a trace file and
+// reports the races found, optionally vindicating each one.
+//
+// Usage:
+//
+//	racedetect -analysis ST-DC trace.bin
+//	racedetect -analysis FTO-HB -text trace.txt
+//	racedetect -analysis ST-WDC -vindicate trace.bin
+//	racedetect -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/race"
+)
+
+func main() {
+	var (
+		name      = flag.String("analysis", "ST-DC", "analysis to run (see -list)")
+		text      = flag.Bool("text", false, "input is the text trace format")
+		vind      = flag.Bool("vindicate", false, "attempt to vindicate each statically distinct race")
+		quiet     = flag.Bool("q", false, "print only the summary line")
+		maxReport = flag.Int("max", 20, "maximum dynamic races to print")
+		list      = flag.Bool("list", false, "list available analyses")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range race.Detectors() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: racedetect [-analysis NAME] [-vindicate] trace-file")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	var tr *race.Trace
+	if *text {
+		tr, err = race.ReadTraceText(f)
+	} else {
+		tr, err = race.ReadTrace(f)
+	}
+	if err != nil {
+		fatalf("reading trace: %v", err)
+	}
+	if err := race.CheckTrace(tr); err != nil {
+		fatalf("ill-formed trace: %v", err)
+	}
+
+	start := time.Now()
+	rep, err := race.AnalyzeByName(tr, *name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	dur := time.Since(start)
+
+	fmt.Printf("%s: %d events, %d statically distinct races, %d dynamic races (%.2f Mevents/s)\n",
+		*name, tr.Len(), rep.Static(), rep.Dynamic(),
+		float64(tr.Len())/1e6/dur.Seconds())
+	if *quiet {
+		return
+	}
+
+	seen := make(map[uint32]bool)
+	printed := 0
+	for _, r := range rep.Races() {
+		if printed >= *maxReport {
+			fmt.Printf("  ... %d more dynamic races\n", rep.Dynamic()-printed)
+			break
+		}
+		kind := "read"
+		if r.Write {
+			kind = "write"
+		}
+		fmt.Printf("  race on var %d at loc %d (event %d, %s)", r.Var, r.Loc, r.Index, kind)
+		if *vind && !seen[r.Loc] {
+			seen[r.Loc] = true
+			res := race.Vindicate(tr, r.Index)
+			if res.Vindicated {
+				fmt.Printf("  [vindicated: witness of %d events]", len(res.Witness))
+			} else {
+				fmt.Printf("  [unverified: %s]", res.Reason)
+			}
+		}
+		fmt.Println()
+		printed++
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "racedetect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command tracegen generates workload traces to files.
+//
+// Usage:
+//
+//	tracegen -program xalan -scale 4000 -seed 1 -o xalan.trace
+//	tracegen -figure figure1 -text -o fig1.txt
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		program = flag.String("program", "", "DaCapo-calibrated workload to generate")
+		figure  = flag.String("figure", "", "paper figure trace to emit (figure1..figure4d)")
+		scale   = flag.Int("scale", 4000, "scale divisor for -program")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		text    = flag.Bool("text", false, "emit the text format instead of binary")
+		list    = flag.Bool("list", false, "list available programs and figures")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("programs:")
+		for _, p := range workload.Programs {
+			fmt.Printf("  %-10s %d threads, %.0fM paper events\n", p.Name, p.Threads, p.PaperEventsM)
+		}
+		fmt.Println("figures:")
+		for _, f := range workload.Figures() {
+			fmt.Printf("  %s\n", f.Name)
+		}
+		return
+	}
+
+	var tr *trace.Trace
+	switch {
+	case *program != "":
+		p, ok := workload.ProgramByName(*program)
+		if !ok {
+			fatalf("unknown program %q (try -list)", *program)
+		}
+		tr = p.Generate(*scale, *seed)
+	case *figure != "":
+		for _, f := range workload.Figures() {
+			if f.Name == *figure {
+				tr = f.Trace
+				break
+			}
+		}
+		if tr == nil {
+			fatalf("unknown figure %q (try -list)", *figure)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if *text {
+		err = trace.WriteText(w, tr)
+	} else {
+		err = trace.WriteBinary(w, tr)
+	}
+	if err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d events, %d threads, %d vars, %d locks\n",
+		tr.Len(), tr.Threads, tr.Vars, tr.Locks)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Bank: a live Go program instrumented with race.Runtime — the scenario the
+// paper's introduction motivates. Tellers transfer money between accounts
+// under per-account locks; an auditor reads a balance without the account
+// lock, but the observed schedule happens to order the accesses through an
+// unrelated lock hand-off. HB analysis is blind to the bug in this run;
+// the predictive analyses catch it from the very same execution.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/race"
+)
+
+type account struct {
+	mu      sync.Mutex
+	balance int
+}
+
+func main() {
+	rt := race.NewRuntime()
+	acct := &account{balance: 100}
+	logMu := &sync.Mutex{} // the unrelated lock both threads use
+
+	main := rt.Main()
+	auditor := rt.Go(main)
+
+	// The channel only makes the demo schedule deterministic; it stands in
+	// for scheduler timing (the auditor happening to run first) and is not
+	// synchronization the program relies on, so it is not recorded.
+	handoff := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+
+	// Auditor: reads the balance WITHOUT acct.mu (the bug), then appends
+	// its own entry to the audit log under logMu.
+	go func() {
+		defer wg.Done()
+		rt.Read(auditor, &acct.balance) // unprotected read
+		snapshot := acct.balance
+		rt.Locked(auditor, logMu, func() {
+			logMu.Lock()
+			rt.Write(auditor, "auditEntry")
+			_ = snapshot
+			logMu.Unlock()
+		})
+		close(handoff)
+	}()
+
+	// Teller: writes its own, unrelated log line under logMu (the critical
+	// sections share the lock but touch different entries — so no relation
+	// edge between them), then applies a deposit under acct.mu.
+	<-handoff
+	rt.Locked(main, logMu, func() {
+		logMu.Lock()
+		rt.Write(main, "tellerEntry")
+		logMu.Unlock()
+	})
+	rt.Acquire(main, &acct.mu)
+	acct.mu.Lock()
+	rt.Write(main, &acct.balance) // properly locked write
+	acct.balance += 50
+	acct.mu.Unlock()
+	rt.Release(main, &acct.mu)
+	wg.Wait()
+
+	hb, err := rt.Analyze(race.HB, race.FTO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := rt.Analyze(race.WCP, race.SmartTrack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FTO-HB (FastTrack): %d races — the lock hand-off through the audit log hides the bug\n", hb.Dynamic())
+	fmt.Printf("SmartTrack-WCP:     %d races — the unprotected balance read is caught\n", st.Dynamic())
+	if hb.Dynamic() != 0 || st.Dynamic() == 0 {
+		log.Fatal("unexpected analysis results; this example expects the Figure 1 shape")
+	}
+
+	// Prove the report is a true predictable race.
+	tr, err := rt.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := st.Races()[0]
+	res := race.Vindicate(tr, r.Index)
+	if !res.Vindicated {
+		log.Fatalf("vindication failed: %s", res.Reason)
+	}
+	fmt.Printf("vindicated: a legal reordering of this very execution makes the racing\n")
+	fmt.Printf("accesses adjacent (%d-event witness) — file the bug with confidence.\n", len(res.Witness))
+}

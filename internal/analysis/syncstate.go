@@ -1,0 +1,330 @@
+package analysis
+
+import (
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// Hook receives constraint-graph edges from an analysis (the "w/G"
+// variants). src and dst are trace event indices; src < dst.
+type Hook interface {
+	Edge(src, dst int32)
+}
+
+// SyncState implements the synchronization handling shared by every
+// analysis in the repository (§5.1): per-thread relation clocks, lock
+// release→acquire edges for the HB-composing relations, fork/join,
+// conflicting volatile accesses, and class initialization edges.
+//
+// The relation clock P is the clock race checks compare against. For HB, P
+// is the HB clock itself. For WCP, P is the WCP clock and a second HB clock
+// H is maintained for the left/right HB-composition rule: every WCP edge
+// joins the *HB* time of its source into the target's P, and P propagates
+// along all HB edges. For DC and WDC, P composes with program order only,
+// so lock release→acquire edges do not propagate P.
+//
+// All analyses increment the executing thread's local clock after every
+// synchronization operation, which the epoch same-epoch checks require
+// (§5.1 applies this to the unoptimized analyses as well).
+type SyncState struct {
+	Rel Relation
+
+	// P is the relation clock per thread; P[t].Get(t) is t's local clock.
+	P []*vc.VC
+	// H is the HB clock per thread; nil unless Rel == WCP.
+	H []*vc.VC
+
+	lockP []*vc.VC // per-lock release clocks (HB and WCP only)
+	lockH []*vc.VC
+
+	volRP, volWP []*vc.VC // volatile last-readers / last-writer clocks
+	volRH, volWH []*vc.VC
+
+	clsP []*vc.VC // class-initialization clocks
+	clsH []*vc.VC
+
+	held [][]uint32 // per-thread stack of held locks, innermost last
+
+	// selfP[t] is t's exportable self-knowledge under WCP: the largest own
+	// component delivered to t by a relation edge. A WCP edge carrying
+	// H_src with H_src(t) = c means t's events up to c are WCP-ordered
+	// before the edge's source, and by right HB-composition before anything
+	// reachable from t's subsequent HB edges — so c, unlike t's local
+	// clock (which tracks only program order), may travel across lock
+	// release→acquire edges. nil unless Rel == WCP.
+	selfP []vc.Clock
+
+	// Graph bookkeeping (hook != nil only for the "w/G" analyses).
+	hook        Hook
+	lastIdx     []int32 // last event index per thread
+	pendingFork []int32 // fork event index awaiting the child's first event
+	lastVolW    []int32 // last volatile-write event per volatile
+	lastVolR    []int32 // last volatile-read event per volatile
+	lastClsInit []int32
+}
+
+// NewSyncState builds synchronization state for a trace's id spaces.
+func NewSyncState(rel Relation, tr *trace.Trace) *SyncState {
+	s := &SyncState{
+		Rel:  rel,
+		P:    make([]*vc.VC, tr.Threads),
+		held: make([][]uint32, tr.Threads),
+	}
+	for t := range s.P {
+		s.P[t] = vc.New(tr.Threads)
+		s.P[t].Set(vtid(trace.Tid(t)), 1)
+	}
+	if rel == WCP {
+		s.H = make([]*vc.VC, tr.Threads)
+		for t := range s.H {
+			s.H[t] = vc.New(tr.Threads)
+			s.H[t].Set(vtid(trace.Tid(t)), 1)
+		}
+		s.selfP = make([]vc.Clock, tr.Threads)
+	}
+	if rel == HB || rel == WCP {
+		s.lockP = make([]*vc.VC, tr.Locks)
+		if rel == WCP {
+			s.lockH = make([]*vc.VC, tr.Locks)
+		}
+	}
+	s.volRP = make([]*vc.VC, tr.Volatiles)
+	s.volWP = make([]*vc.VC, tr.Volatiles)
+	s.clsP = make([]*vc.VC, tr.Classes)
+	if rel == WCP {
+		s.volRH = make([]*vc.VC, tr.Volatiles)
+		s.volWH = make([]*vc.VC, tr.Volatiles)
+		s.clsH = make([]*vc.VC, tr.Classes)
+	}
+	return s
+}
+
+// SetHook enables constraint-graph edge recording.
+func (s *SyncState) SetHook(h Hook, tr *trace.Trace) {
+	s.hook = h
+	s.lastIdx = fillNeg(tr.Threads)
+	s.pendingFork = fillNeg(tr.Threads)
+	s.lastVolW = fillNeg(tr.Volatiles)
+	s.lastVolR = fillNeg(tr.Volatiles)
+	s.lastClsInit = fillNeg(tr.Classes)
+}
+
+func fillNeg(n int) []int32 {
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = -1
+	}
+	return v
+}
+
+func (s *SyncState) edge(src int32, dst int32) {
+	if s.hook != nil && src >= 0 {
+		s.hook.Edge(src, dst)
+	}
+}
+
+// OnEvent performs per-event graph bookkeeping. Engines call it first for
+// every event (access or sync) when a hook is installed.
+func (s *SyncState) OnEvent(t trace.Tid, idx int32) {
+	if s.hook == nil {
+		return
+	}
+	if f := s.pendingFork[t]; f >= 0 {
+		s.hook.Edge(f, idx)
+		s.pendingFork[t] = -1
+	}
+	s.lastIdx[t] = idx
+}
+
+// Held returns the locks currently held by t, innermost last. The returned
+// slice aliases internal state; callers must not retain it across events.
+func (s *SyncState) Held(t trace.Tid) []uint32 { return s.held[t] }
+
+// Holds reports whether t currently holds lock m.
+func (s *SyncState) Holds(t trace.Tid, m uint32) bool {
+	for _, l := range s.held[t] {
+		if l == m {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinP joins c into t's relation clock, absorbing any self-knowledge c
+// carries (WCP only). Every join into P — relation edges and HB carrier
+// edges alike — must go through JoinP so that exportable self-knowledge is
+// never lost.
+func (s *SyncState) JoinP(t trace.Tid, c *vc.VC) {
+	if c == nil {
+		return
+	}
+	s.P[t].Join(c)
+	if s.selfP != nil {
+		if g := c.Get(vtid(t)); g > s.selfP[t] {
+			s.selfP[t] = g
+		}
+	}
+}
+
+// Tick increments t's local clock on P (and H for WCP).
+func (s *SyncState) Tick(t trace.Tid) {
+	s.P[t].Tick(vtid(t))
+	if s.H != nil {
+		s.H[t].Tick(vtid(t))
+	}
+}
+
+// Epoch returns t's current epoch E(t, local clock).
+func (s *SyncState) Epoch(t trace.Tid) vc.Epoch { return s.P[t].Epoch(vtid(t)) }
+
+// PreAcquire applies the release→acquire edges of HB-composing relations
+// (before rule (b) bookkeeping and before the tick).
+func (s *SyncState) PreAcquire(t trace.Tid, m uint32) {
+	if s.lockP != nil {
+		s.JoinP(t, s.lockP[m])
+	}
+	if s.lockH != nil {
+		s.H[t].Join(s.lockH[m])
+	}
+}
+
+// PostAcquire records the lock as held and ticks.
+func (s *SyncState) PostAcquire(t trace.Tid, m uint32) {
+	s.held[t] = append(s.held[t], m)
+	s.Tick(t)
+}
+
+// PostRelease stores the lock release clocks (HB-composing relations),
+// removes the lock from the held set, and ticks. Engines call it after
+// their rule (a)/(b) release processing.
+func (s *SyncState) PostRelease(t trace.Tid, m uint32) {
+	if s.lockP != nil {
+		cp := s.P[t].Copy()
+		if s.Rel == WCP {
+			// The release→acquire edge is an HB edge, not a WCP edge: it
+			// carries the releasing thread's WCP-before knowledge (right
+			// HB-composition) but must not export the thread's own local
+			// clock, which tracks only program order — otherwise WCP would
+			// collapse into HB. What it may export is selfP: self-knowledge
+			// delivered by earlier relation edges.
+			cp.Set(vtid(t), s.selfP[t])
+		}
+		s.lockP[m] = cp
+	}
+	if s.lockH != nil {
+		s.lockH[m] = s.H[t].Copy()
+	}
+	h := s.held[t]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] == m {
+			s.held[t] = append(h[:i], h[i+1:]...)
+			break
+		}
+	}
+	s.Tick(t)
+}
+
+// HandleOther processes the non-lock synchronization events (fork, join,
+// volatiles, class events) for every relation, including the graph's hard
+// edges. It returns true if the event was one of those kinds.
+func (s *SyncState) HandleOther(e trace.Event, idx int32) bool {
+	t := e.T
+	switch e.Op {
+	case trace.OpFork:
+		child := trace.Tid(e.Targ)
+		s.JoinP(child, s.P[t])
+		if s.H != nil {
+			s.H[child].Join(s.H[t])
+		}
+		if s.hook != nil {
+			s.pendingFork[child] = idx
+		}
+	case trace.OpJoin:
+		child := trace.Tid(e.Targ)
+		s.JoinP(t, s.P[child])
+		if s.H != nil {
+			s.H[t].Join(s.H[child])
+		}
+		if s.hook != nil {
+			s.edge(s.lastIdx[child], idx)
+		}
+	case trace.OpVolatileRead:
+		v := e.Targ
+		s.JoinP(t, s.volWP[v])
+		if s.H != nil {
+			s.H[t].Join(s.volWH[v])
+		}
+		joinInto(&s.volRP[v], s.P[t])
+		if s.volRH != nil {
+			joinInto(&s.volRH[v], s.H[t])
+		}
+		if s.hook != nil {
+			s.edge(s.lastVolW[v], idx)
+			s.lastVolR[v] = idx
+		}
+	case trace.OpVolatileWrite:
+		v := e.Targ
+		s.JoinP(t, s.volWP[v])
+		s.JoinP(t, s.volRP[v])
+		if s.H != nil {
+			s.H[t].Join(s.volWH[v])
+			s.H[t].Join(s.volRH[v])
+		}
+		joinInto(&s.volWP[v], s.P[t])
+		if s.volWH != nil {
+			joinInto(&s.volWH[v], s.H[t])
+		}
+		if s.hook != nil {
+			s.edge(s.lastVolW[v], idx)
+			s.edge(s.lastVolR[v], idx)
+			s.lastVolW[v] = idx
+		}
+	case trace.OpClassInit:
+		c := e.Targ
+		joinInto(&s.clsP[c], s.P[t])
+		if s.clsH != nil {
+			joinInto(&s.clsH[c], s.H[t])
+		}
+		if s.hook != nil {
+			s.lastClsInit[c] = idx
+		}
+	case trace.OpClassAccess:
+		c := e.Targ
+		s.JoinP(t, s.clsP[c])
+		if s.H != nil {
+			s.H[t].Join(s.clsH[c])
+		}
+		if s.hook != nil {
+			s.edge(s.lastClsInit[c], idx)
+		}
+	default:
+		return false
+	}
+	s.Tick(t)
+	return true
+}
+
+func joinInto(dst **vc.VC, src *vc.VC) {
+	if *dst == nil {
+		*dst = src.Copy()
+		return
+	}
+	(*dst).Join(src)
+}
+
+// Weight estimates retained metadata in 8-byte words.
+func (s *SyncState) Weight() int {
+	w := 0
+	for _, groups := range [][]*vc.VC{s.P, s.H, s.lockP, s.lockH, s.volRP, s.volWP, s.volRH, s.volWH, s.clsP, s.clsH} {
+		for _, v := range groups {
+			if v != nil {
+				w += v.Weight() + 3
+			}
+		}
+	}
+	return w
+}
+
+// vtid converts a trace thread id to a vector-clock thread id (both are
+// dense uint16 spaces).
+func vtid(t trace.Tid) vc.Tid { return vc.Tid(t) }

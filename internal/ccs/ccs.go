@@ -1,0 +1,352 @@
+// Package ccs implements the two pieces of predictive-analysis machinery
+// that HB analysis does not need and that the paper identifies as the main
+// performance costs:
+//
+//   - rule (a), detecting conflicting critical sections, via per-lock tables
+//     Lr[m][x] / Lw[m][x] of critical-section release times keyed by
+//     variable (LockTables); and
+//   - rule (b), release–release ordering of critical sections whose earlier
+//     acquire is ordered before the later release, via per-(lock, thread
+//     pair) FIFO queues of acquire and release times (RuleB).
+//
+// Both are shared by the unoptimized (Algorithm 1) and FTO (Algorithm 2)
+// engines; the SmartTrack engine replaces LockTables with per-variable CS
+// lists but reuses RuleB with epoch-valued acquire queues.
+package ccs
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// queue is a FIFO with O(1) amortized operations.
+type queue[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *queue[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *queue[T]) empty() bool { return q.head >= len(q.items) }
+
+func (q *queue[T]) front() T { return q.items[q.head] }
+
+func (q *queue[T]) pop() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head > 64 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *queue[T]) len() int { return len(q.items) - q.head }
+
+// relEntry pairs a critical section's release time with the release's trace
+// index (for constraint-graph edges).
+type relEntry struct {
+	c   *vc.VC
+	idx int32
+}
+
+// acqEntry is a queued acquire time: a full vector clock for DC at the
+// Unopt/FTO levels (Algorithm 1 line 2), or an epoch when the owning
+// analysis uses the epoch-queue optimization (SmartTrack, and WCP at every
+// level — for WCP the ordering test a₁ ≺WCP r₂ is exactly the component
+// test P_r₂(t') ≥ local(a₁) under left HB-composition, so only the epoch is
+// meaningful).
+type acqEntry struct {
+	c  *vc.VC
+	ep vc.Epoch
+}
+
+// lockQueues holds the per-thread-pair queues for one lock, keyed by
+// owner*T + acquirer — Acq_{m,owner}(acquirer) in the paper's notation.
+// Pairs are materialized on first use: a lock touched by two threads holds
+// two pair queues, not T².
+type lockQueues struct {
+	acq map[int32]*queue[acqEntry]
+	rel map[int32]*queue[relEntry]
+}
+
+func (q *lockQueues) acqQ(k int32) *queue[acqEntry] {
+	p := q.acq[k]
+	if p == nil {
+		p = &queue[acqEntry]{}
+		q.acq[k] = p
+	}
+	return p
+}
+
+func (q *lockQueues) relQ(k int32) *queue[relEntry] {
+	p := q.rel[k]
+	if p == nil {
+		p = &queue[relEntry]{}
+		q.rel[k] = p
+	}
+	return p
+}
+
+// RuleB computes rule (b): at each release of m by t, any earlier critical
+// section on m whose acquire is already ordered before the current release
+// has its release time joined into the current thread's clock.
+type RuleB struct {
+	rel      analysis.Relation
+	epochAcq bool
+	threads  int
+	locks    []*lockQueues
+}
+
+// NewRuleB builds rule (b) state. epochAcq selects epoch-valued acquire
+// queues (SmartTrack's optimization); it is forced on for WCP.
+func NewRuleB(rel analysis.Relation, tr *trace.Trace, epochAcq bool) *RuleB {
+	if rel == analysis.WCP {
+		epochAcq = true
+	}
+	return &RuleB{
+		rel:      rel,
+		epochAcq: epochAcq,
+		threads:  tr.Threads,
+		locks:    make([]*lockQueues, tr.Locks),
+	}
+}
+
+func (b *RuleB) lockState(m uint32) *lockQueues {
+	q := b.locks[m]
+	if q == nil {
+		q = &lockQueues{acq: make(map[int32]*queue[acqEntry]), rel: make(map[int32]*queue[relEntry])}
+		b.locks[m] = q
+	}
+	return q
+}
+
+// Acquire enqueues the acquire time of t's new critical section on m into
+// every other thread's queue (Algorithm 1 line 2 / Algorithm 3 line 2).
+// P is the relation clock of t at the acquire (after any HB lock joins,
+// before the tick).
+func (b *RuleB) Acquire(t trace.Tid, m uint32, p *vc.VC) {
+	q := b.lockState(m)
+	var ent acqEntry
+	if b.epochAcq {
+		ent.ep = p.Epoch(vc.Tid(t))
+	} else {
+		ent.c = p.Copy() // one snapshot shared by all queues
+	}
+	for u := 0; u < b.threads; u++ {
+		if trace.Tid(u) == t {
+			continue
+		}
+		q.acqQ(int32(u*b.threads + int(t))).push(ent)
+	}
+}
+
+// Release performs rule (b) at t's release of m (Algorithm 1 lines 4–8):
+// earlier critical sections whose acquires are ordered before the current
+// clock contribute their release times, which are joined into p; then the
+// current release time is enqueued for every other thread. For WCP the
+// enqueued release time is the HB clock h (left HB-composition); for DC it
+// is the relation clock itself. idx is the trace index of the release
+// event; hook (optional) receives rule (b) constraint edges.
+func (b *RuleB) Release(t trace.Tid, m uint32, s *analysis.SyncState, idx int32, hook analysis.Hook) {
+	p := s.P[t]
+	q := b.lockState(m)
+	for u := 0; u < b.threads; u++ {
+		if trace.Tid(u) == t {
+			continue
+		}
+		aq := q.acq[int32(int(t)*b.threads+u)]
+		if aq == nil || aq.empty() {
+			continue
+		}
+		rq := q.relQ(int32(int(t)*b.threads + u))
+		for !aq.empty() {
+			front := aq.front()
+			var ordered bool
+			if b.epochAcq {
+				ordered = vc.EpochLeq(front.ep, p)
+			} else {
+				ordered = front.c.Leq(p)
+			}
+			if !ordered {
+				break
+			}
+			aq.pop()
+			re := rq.pop()
+			s.JoinP(t, re.c) // rule (b): r1 ≺ r2
+			if hook != nil && re.idx >= 0 {
+				hook.Edge(re.idx, idx)
+			}
+		}
+	}
+	snap := p
+	if b.rel == analysis.WCP {
+		snap = s.H[t]
+	}
+	shared := relEntry{c: snap.Copy(), idx: idx}
+	for u := 0; u < b.threads; u++ {
+		if trace.Tid(u) == t {
+			continue
+		}
+		q.relQ(int32(u*b.threads + int(t))).push(shared)
+	}
+}
+
+// Weight estimates retained queue metadata in 8-byte words.
+func (b *RuleB) Weight() int {
+	w := 0
+	for _, lq := range b.locks {
+		if lq == nil {
+			continue
+		}
+		w += 4 * (len(lq.acq) + len(lq.rel)) // pair-queue headers
+		for _, aq := range lq.acq {
+			n := aq.len()
+			w += 2 * n
+			if !b.epochAcq && n > 0 {
+				// Snapshots are shared across T-1 queues; charge each queue
+				// a proportional share of the vector-clock payload.
+				w += n * aq.front().c.Weight() / maxInt(1, b.threads-1)
+			}
+		}
+		for _, rq := range lq.rel {
+			n := rq.len()
+			w += 2 * n
+			if n > 0 {
+				w += n * rq.front().c.Weight() / maxInt(1, b.threads-1)
+			}
+		}
+	}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LockTables is rule (a) state for the Unopt and FTO levels: per lock, the
+// joined release times of critical sections that read (Lr) or wrote (Lw)
+// each variable, plus the variables accessed by the lock's ongoing critical
+// section.
+type LockTables struct {
+	// MarkWritesAsReads selects FTO behaviour, where Rm and Lr represent
+	// reads *and* writes (Algorithm 2 line 19).
+	MarkWritesAsReads bool
+
+	locks []*lockTab
+}
+
+type lockTab struct {
+	lr, lw       map[uint32]*vc.VC
+	lrIdx, lwIdx map[uint32]int32 // latest contributing release event index
+	rs, ws       map[uint32]struct{}
+}
+
+// NewLockTables builds empty rule (a) tables.
+func NewLockTables(tr *trace.Trace, markWritesAsReads bool) *LockTables {
+	return &LockTables{MarkWritesAsReads: markWritesAsReads, locks: make([]*lockTab, tr.Locks)}
+}
+
+func (lt *LockTables) tab(m uint32) *lockTab {
+	tb := lt.locks[m]
+	if tb == nil {
+		tb = &lockTab{
+			lr: make(map[uint32]*vc.VC), lw: make(map[uint32]*vc.VC),
+			lrIdx: make(map[uint32]int32), lwIdx: make(map[uint32]int32),
+			rs: make(map[uint32]struct{}), ws: make(map[uint32]struct{}),
+		}
+		lt.locks[m] = tb
+	}
+	return tb
+}
+
+// ReadJoin applies rule (a) for a read of x inside a critical section on m:
+// joins the release times of prior critical sections on m that wrote x, and
+// records x in the ongoing critical section's read set.
+func (lt *LockTables) ReadJoin(t trace.Tid, m, x uint32, s *analysis.SyncState, idx int32, hook analysis.Hook) {
+	tb := lt.tab(m)
+	if c := tb.lw[x]; c != nil {
+		s.JoinP(t, c)
+		if hook != nil {
+			hook.Edge(tb.lwIdx[x], idx)
+		}
+	}
+	tb.rs[x] = struct{}{}
+}
+
+// WriteJoin applies rule (a) for a write of x inside a critical section on
+// m: joins the release times of prior critical sections on m that read or
+// wrote x, and records x in the ongoing critical section's write set (and
+// read set in FTO mode).
+func (lt *LockTables) WriteJoin(t trace.Tid, m, x uint32, s *analysis.SyncState, idx int32, hook analysis.Hook) {
+	tb := lt.tab(m)
+	if c := tb.lr[x]; c != nil {
+		s.JoinP(t, c)
+		if hook != nil {
+			hook.Edge(tb.lrIdx[x], idx)
+		}
+	}
+	if c := tb.lw[x]; c != nil {
+		s.JoinP(t, c)
+		if hook != nil {
+			hook.Edge(tb.lwIdx[x], idx)
+		}
+	}
+	tb.ws[x] = struct{}{}
+	if lt.MarkWritesAsReads {
+		tb.rs[x] = struct{}{}
+	}
+}
+
+// Release folds the ongoing critical section's access sets into Lr/Lw with
+// the release time rt (Algorithm 1 lines 9–11): the relation clock for DC
+// and WDC, the HB clock for WCP.
+func (lt *LockTables) Release(t trace.Tid, m uint32, rt *vc.VC, idx int32) {
+	tb := lt.locks[m]
+	if tb == nil {
+		return
+	}
+	for x := range tb.rs {
+		joinInto(tb.lr, x, rt)
+		tb.lrIdx[x] = idx
+		delete(tb.rs, x)
+	}
+	for x := range tb.ws {
+		joinInto(tb.lw, x, rt)
+		tb.lwIdx[x] = idx
+		delete(tb.ws, x)
+	}
+}
+
+func joinInto(m map[uint32]*vc.VC, x uint32, src *vc.VC) {
+	if c := m[x]; c != nil {
+		c.Join(src)
+		return
+	}
+	m[x] = src.Copy()
+}
+
+// Weight estimates retained rule (a) metadata in 8-byte words.
+func (lt *LockTables) Weight() int {
+	w := 0
+	for _, tb := range lt.locks {
+		if tb == nil {
+			continue
+		}
+		for _, c := range tb.lr {
+			w += c.Weight() + 4
+		}
+		for _, c := range tb.lw {
+			w += c.Weight() + 4
+		}
+		w += 2 * (len(tb.lrIdx) + len(tb.lwIdx) + len(tb.rs) + len(tb.ws))
+	}
+	return w
+}

@@ -1,0 +1,284 @@
+package ccs
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+func syncFor(rel analysis.Relation, threads, locks int) (*analysis.SyncState, *trace.Trace) {
+	tr := &trace.Trace{Threads: threads, Locks: locks, Vars: 8}
+	return analysis.NewSyncState(rel, tr), tr
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q queue[int]
+	if !q.empty() {
+		t.Fatal("new queue must be empty")
+	}
+	for i := 0; i < 200; i++ {
+		q.push(i)
+	}
+	if q.len() != 200 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for i := 0; i < 200; i++ {
+		if q.front() != i {
+			t.Fatalf("front = %d, want %d", q.front(), i)
+		}
+		if q.pop() != i {
+			t.Fatalf("pop mismatch at %d", i)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("drained queue must be empty")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	var q queue[int]
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 100; i++ {
+			q.push(i)
+		}
+		for i := 0; i < 100; i++ {
+			q.pop()
+		}
+	}
+	// After steady-state churn the backing array must not hold all 1000
+	// slots (compaction keeps it bounded).
+	if cap(q.items) > 512 {
+		t.Errorf("queue never compacts: cap=%d", cap(q.items))
+	}
+}
+
+func TestRuleBOrdersOrderedCriticalSections(t *testing.T) {
+	// T0: acq(m) rel(m); T1: acq(m) [DC-ordered to T0's CS via a manual
+	// join] rel(m) — rule (b) must add T0's release time to T1.
+	s, tr := syncFor(analysis.DC, 2, 1)
+	rb := NewRuleB(analysis.DC, tr, false)
+
+	// T0's critical section.
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rb.Release(0, 0, s, 1, nil)
+	s.PostRelease(0, 0)
+
+	// T1 acquires; simulate a rule (a)-style join making T0's acquire
+	// ordered before T1's upcoming release.
+	rb.Acquire(1, 0, s.P[1])
+	s.PostAcquire(1, 0)
+	s.JoinP(1, s.P[0]) // T1 now knows everything T0 did
+	before := s.P[1].Copy()
+	rb.Release(1, 0, s, 5, nil)
+	if !before.Leq(s.P[1]) {
+		t.Fatal("release must only grow the clock")
+	}
+	// T0's release time (T0 local clock after two ticks = 3) must be in.
+	if s.P[1].Get(0) < 2 {
+		t.Errorf("rule (b) did not deliver T0's release time: %v", s.P[1])
+	}
+}
+
+func TestRuleBSkipsUnorderedCriticalSections(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 2, 1)
+	rb := NewRuleB(analysis.DC, tr, false)
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rb.Release(0, 0, s, 1, nil)
+	s.PostRelease(0, 0)
+
+	rb.Acquire(1, 0, s.P[1])
+	s.PostAcquire(1, 0)
+	// No join: T0's acquire is NOT ordered before T1's release.
+	rb.Release(1, 0, s, 5, nil)
+	if s.P[1].Get(0) != 0 {
+		t.Errorf("rule (b) fired for unordered critical sections: %v", s.P[1])
+	}
+}
+
+func TestRuleBEpochQueues(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 2, 1)
+	rb := NewRuleB(analysis.DC, tr, true) // SmartTrack epoch queues
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rb.Release(0, 0, s, 1, nil)
+	s.PostRelease(0, 0)
+
+	rb.Acquire(1, 0, s.P[1])
+	s.PostAcquire(1, 0)
+	s.JoinP(1, s.P[0])
+	rb.Release(1, 0, s, 5, nil)
+	if s.P[1].Get(0) < 2 {
+		t.Errorf("epoch-queue rule (b) did not fire: %v", s.P[1])
+	}
+}
+
+func TestRuleBFIFOPairing(t *testing.T) {
+	// Two critical sections by T0; only after T1 is ordered past the first
+	// one does its release time arrive, and the second stays queued.
+	s, tr := syncFor(analysis.DC, 2, 1)
+	rb := NewRuleB(analysis.DC, tr, false)
+
+	// CS 1.
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rel1Time := s.P[0].Copy()
+	rb.Release(0, 0, s, 1, nil)
+	s.PostRelease(0, 0)
+	// CS 2.
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rb.Release(0, 0, s, 3, nil)
+	s.PostRelease(0, 0)
+
+	// T1 ordered after CS 1's acquire only.
+	rb.Acquire(1, 0, s.P[1])
+	s.PostAcquire(1, 0)
+	s.P[1].Set(0, rel1Time.Get(0)) // knows T0 up to just past acquire 1
+	rb.Release(1, 0, s, 7, nil)
+	got := s.P[1].Get(0)
+	if got < 2 {
+		t.Errorf("first CS's release time missing: clock(T0)=%d", got)
+	}
+	if got >= 5 {
+		t.Errorf("second CS's release time must stay queued: clock(T0)=%d", got)
+	}
+}
+
+func TestRuleBGraphEdges(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 2, 1)
+	rb := NewRuleB(analysis.DC, tr, false)
+	var edges [][2]int32
+	hook := edgeFunc(func(src, dst int32) { edges = append(edges, [2]int32{src, dst}) })
+
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rb.Release(0, 0, s, 1, hook)
+	s.PostRelease(0, 0)
+	rb.Acquire(1, 0, s.P[1])
+	s.PostAcquire(1, 0)
+	s.JoinP(1, s.P[0])
+	rb.Release(1, 0, s, 5, hook)
+	if len(edges) != 1 || edges[0] != [2]int32{1, 5} {
+		t.Errorf("edges = %v, want [[1 5]]", edges)
+	}
+}
+
+type edgeFunc func(src, dst int32)
+
+func (f edgeFunc) Edge(src, dst int32) { f(src, dst) }
+
+func TestLockTablesReadSeesWriters(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 2, 1)
+	lt := NewLockTables(tr, false)
+
+	// T0 writes x in a CS on m.
+	s.PostAcquire(0, 0)
+	lt.WriteJoin(0, 0, 3, s, 1, nil)
+	relTime := s.P[0].Copy()
+	lt.Release(0, 0, relTime, 2)
+	s.PostRelease(0, 0)
+
+	// T1 reads x in a CS on m: rule (a) must join T0's release time.
+	s.PostAcquire(1, 0)
+	lt.ReadJoin(1, 0, 3, s, 4, nil)
+	if s.P[1].Get(0) != relTime.Get(0) {
+		t.Errorf("rule (a) join missing: %v", s.P[1])
+	}
+}
+
+func TestLockTablesReadersOnlyConflictWithWrites(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 2, 1)
+	lt := NewLockTables(tr, false)
+	s.PostAcquire(0, 0)
+	lt.ReadJoin(0, 0, 3, s, 1, nil) // read-only CS
+	lt.Release(0, 0, s.P[0], 2)
+	s.PostRelease(0, 0)
+
+	s.PostAcquire(1, 0)
+	lt.ReadJoin(1, 0, 3, s, 4, nil) // read-read: no conflict
+	if s.P[1].Get(0) != 0 {
+		t.Errorf("read-read critical sections must not be ordered: %v", s.P[1])
+	}
+	lt.WriteJoin(1, 0, 3, s, 5, nil) // write-read: conflict
+	if s.P[1].Get(0) == 0 {
+		t.Error("write must see prior reading critical section")
+	}
+}
+
+func TestLockTablesFTOMarksWritesAsReads(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 2, 1)
+	lt := NewLockTables(tr, true) // FTO mode
+	s.PostAcquire(0, 0)
+	lt.WriteJoin(0, 0, 3, s, 1, nil)
+	lt.Release(0, 0, s.P[0], 2)
+	s.PostRelease(0, 0)
+	tb := lt.locks[0]
+	if tb.lr[3] == nil {
+		t.Error("FTO mode must fold writes into Lr")
+	}
+	if tb.lw[3] == nil {
+		t.Error("Lw must be populated")
+	}
+}
+
+func TestLockTablesClearsAccessSets(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 1, 1)
+	lt := NewLockTables(tr, false)
+	s.PostAcquire(0, 0)
+	lt.ReadJoin(0, 0, 1, s, 0, nil)
+	lt.WriteJoin(0, 0, 2, s, 1, nil)
+	lt.Release(0, 0, s.P[0], 2)
+	tb := lt.locks[0]
+	if len(tb.rs) != 0 || len(tb.ws) != 0 {
+		t.Error("release must clear the ongoing access sets")
+	}
+	if tb.lr[1] == nil || tb.lw[2] == nil {
+		t.Error("release must fold access sets into Lr/Lw")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	s, tr := syncFor(analysis.DC, 3, 2)
+	rb := NewRuleB(analysis.DC, tr, false)
+	lt := NewLockTables(tr, false)
+	if rb.Weight() != 0 || lt.Weight() != 0 {
+		t.Error("fresh state must weigh nothing")
+	}
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	lt.WriteJoin(0, 0, 1, s, 0, nil)
+	lt.Release(0, 0, s.P[0], 1)
+	rb.Release(0, 0, s, 1, nil)
+	if rb.Weight() <= 0 || lt.Weight() <= 0 {
+		t.Error("populated state must have weight")
+	}
+}
+
+func TestWCPForcesEpochQueues(t *testing.T) {
+	tr := &trace.Trace{Threads: 2, Locks: 1}
+	rb := NewRuleB(analysis.WCP, tr, false)
+	if !rb.epochAcq {
+		t.Error("WCP must use epoch acquire queues (component ordering test)")
+	}
+}
+
+func TestRuleBWCPEnqueuesHBTime(t *testing.T) {
+	tr := &trace.Trace{Threads: 2, Locks: 1, Vars: 1}
+	s := analysis.NewSyncState(analysis.WCP, tr)
+	rb := NewRuleB(analysis.WCP, tr, true)
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rb.Release(0, 0, s, 1, nil)
+	s.PostRelease(0, 0)
+	// The queued release entry must be the HB clock (its own component is
+	// the local clock, which P strips on export).
+	q := rb.locks[0]
+	ent := q.rel[1*2+0].front()
+	if ent.c.Get(0) != s.H[0].Get(vc.Tid(0))-1 && ent.c.Get(0) == 0 {
+		t.Errorf("WCP rule (b) must enqueue HB release times, got %v", ent.c)
+	}
+}

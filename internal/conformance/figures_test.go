@@ -1,0 +1,120 @@
+// Package conformance cross-checks every registered analysis against the
+// paper's example executions (Figures 1–4) and against each other on
+// randomized traces. These are the repository's core correctness tests: the
+// figures pin down exactly which relations order which accesses, and the
+// cross-analysis properties pin down that the epoch, ownership, and CCS
+// optimizations are precision-preserving.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/workload"
+
+	// Register all analyses.
+	_ "repro/internal/core"
+	_ "repro/internal/ft"
+	_ "repro/internal/fto"
+	_ "repro/internal/unopt"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Table 1: 4 unopt (HB w/G is N/A... HB has no w/G), 3 w/G, FT2,
+	// 4 FTO, 3 SmartTrack.
+	want := map[string]bool{
+		"Unopt-HB": true, "Unopt-WCP": true, "Unopt-DC": true, "Unopt-WDC": true,
+		"Unopt-WCP w/G": true, "Unopt-DC w/G": true, "Unopt-WDC w/G": true,
+		"FT2": true, "FTO-HB": true, "FTO-WCP": true, "FTO-DC": true, "FTO-WDC": true,
+		"ST-WCP": true, "ST-DC": true, "ST-WDC": true,
+	}
+	got := make(map[string]bool)
+	for _, e := range analysis.All() {
+		if got[e.Name] {
+			t.Errorf("duplicate registration %q", e.Name)
+		}
+		got[e.Name] = true
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("missing analysis %q", name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("unexpected analysis %q", name)
+		}
+	}
+}
+
+func TestTable1Cells(t *testing.T) {
+	if _, ok := analysis.Lookup(analysis.HB, analysis.SmartTrack); ok {
+		t.Error("SmartTrack-HB must be N/A (Table 1)")
+	}
+	if _, ok := analysis.Lookup(analysis.HB, analysis.UnoptG); ok {
+		t.Error("Unopt-HB w/G must be N/A (Table 1)")
+	}
+	if e, ok := analysis.Lookup(analysis.DC, analysis.SmartTrack); !ok || e.Name != "ST-DC" {
+		t.Error("ST-DC lookup failed")
+	}
+	if _, ok := analysis.ByName("FT2"); !ok {
+		t.Error("ByName(FT2) failed")
+	}
+}
+
+// TestFigures verifies, for every analysis and every paper figure, whether
+// a race is reported on the figure's candidate variable.
+func TestFigures(t *testing.T) {
+	for _, fig := range workload.Figures() {
+		fig := fig
+		for _, entry := range analysis.All() {
+			entry := entry
+			t.Run(fmt.Sprintf("%s/%s", fig.Name, entry.Name), func(t *testing.T) {
+				a := entry.New(fig.Trace)
+				col := analysis.Run(a, fig.Trace)
+				want := fig.RaceBy[entry.Relation.String()]
+				_, got := col.FirstRace(fig.RaceVar)
+				if got != want {
+					t.Errorf("%s on %s: race=%v, want %v (races: %v)",
+						entry.Name, fig.Name, got, want, col.Races())
+				}
+				// No analysis may report races on any other variable of the
+				// figure traces (the sync(o) helper variables are protected).
+				for _, v := range col.RaceVars() {
+					if v != fig.RaceVar {
+						t.Errorf("%s on %s: unexpected race on variable %d", entry.Name, fig.Name, v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFigureMonotonicity spot-checks that on the figure traces the
+// race-variable sets grow as the relation weakens: HB ⊆ WCP ⊆ DC ⊆ WDC.
+func TestFigureMonotonicity(t *testing.T) {
+	for _, fig := range workload.Figures() {
+		for _, lvl := range []analysis.Level{analysis.Unopt, analysis.FTO, analysis.SmartTrack} {
+			var prev map[uint32]bool
+			for _, rel := range analysis.Relations {
+				entry, ok := analysis.Lookup(rel, lvl)
+				if !ok {
+					continue // SmartTrack-HB is N/A
+				}
+				col := analysis.Run(entry.New(fig.Trace), fig.Trace)
+				cur := make(map[uint32]bool)
+				for _, v := range col.RaceVars() {
+					cur[v] = true
+				}
+				for v := range prev {
+					if !cur[v] {
+						t.Errorf("%s/%s: race on %d found by stronger relation but not %s",
+							fig.Name, lvl, v, rel)
+					}
+				}
+				prev = cur
+			}
+		}
+	}
+}

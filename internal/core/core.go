@@ -1,0 +1,485 @@
+// Package core implements the paper's primary contribution: the SmartTrack
+// algorithm (Algorithm 3), which layers conflicting-critical-section (CCS)
+// optimizations on top of the epoch and ownership optimizations of
+// Algorithm 2, for the WCP, DC, and WDC relations.
+//
+// Instead of per-(lock, variable) tables, SmartTrack keeps per-variable CCS
+// metadata that mirrors the last-access metadata:
+//
+//   - Ht: each thread's current critical-section (CS) list — for every held
+//     lock, a *reference* to a vector clock that will receive the critical
+//     section's release time when the release happens (deferred update).
+//     Until then the owner's slot holds ∞ so that ordering queries fail.
+//   - Lw_x / Lr_x: the CS lists of the accesses represented by Wx / Rx.
+//   - Er_x / Ew_x: "extra" per-thread lock→release-time entries preserving
+//     CCS information that updating Lr_x/Lw_x at a write would lose
+//     (Figure 4(c)/(d)).
+//
+// MultiCheck fuses the CCS detection with the race check: it walks a prior
+// access's CS list from outermost to innermost; an ordered release subsumes
+// everything inner (and the race check); a release on a lock the current
+// thread holds is a conflicting critical section, whose time is joined into
+// the current clock; leftovers become "extra" metadata; if nothing matched,
+// the ordinary epoch race check runs.
+//
+// Implementation note (the paper leaves this implicit): MultiCheck is never
+// useful when the prior access's thread u equals the current thread t — all
+// CCS ordering from t's own critical sections is vacuous by program order
+// and the race check trivially passes. We return early in that case. This
+// is also what keeps the ∞ sentinel out of clock joins: a pending release
+// time carries ∞ only in its owner's slot, and a CS list entry owned by
+// u ≠ t whose lock t holds must already be released (mutual exclusion), so
+// every vector clock MultiCheck joins is fully resolved.
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ccs"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// csEntry is one critical section in a CS list: a reference to the (future)
+// release time of lock m.
+type csEntry struct {
+	c *vc.VC
+	m uint32
+}
+
+// csList is a CS list ordered outermost first — the reverse of the paper's
+// head-to-tail presentation, so that MultiCheck's tail-to-head traversal is
+// a forward loop. Lists are treated as immutable; push copies.
+type csList []csEntry
+
+func (l csList) push(e csEntry) csList {
+	n := make(csList, len(l)+1)
+	copy(n, l)
+	n[len(l)] = e
+	return n
+}
+
+// extraEntry records a critical section on lock m by thread t containing an
+// access to the variable, not captured by the variable's CS lists.
+type extraEntry struct {
+	t vc.Tid
+	m uint32
+	c *vc.VC
+}
+
+// extras is the Er_x / Ew_x representation: a small flat list, since the
+// paper's performance argument is that these are empty in the common case.
+type extras []extraEntry
+
+// set replaces thread u's entries with e (Erx(u) ← E).
+func (ex extras) set(u vc.Tid, e extras) extras {
+	out := ex[:0]
+	for _, ent := range ex {
+		if ent.t != u {
+			out = append(out, ent)
+		}
+	}
+	return append(out, e...)
+}
+
+// stVar is SmartTrack's per-variable metadata.
+type stVar struct {
+	w   vc.Epoch
+	r   vc.Epoch // valid when rvc == nil
+	rvc *vc.VC   // read vector clock when shared
+
+	lw    csList   // CS list of the last write
+	lr    csList   // CS list of the last access (epoch mode)
+	lrByT []csList // per-thread CS lists (shared mode)
+
+	er, ew extras
+}
+
+// CaseCounts tallies how often each FTO case fires (the paper's Table 12
+// and Appendix B).
+type CaseCounts struct {
+	ReadSameEpoch, SharedSameEpoch, WriteSameEpoch uint64
+	ReadOwned, ReadSharedOwned                     uint64
+	ReadExclusive, ReadShare, ReadShared           uint64
+	WriteOwned, WriteExclusive, WriteShared        uint64
+	HeldAtNSEA                                     [4]uint64
+}
+
+// NSEAReads returns the non-same-epoch read count.
+func (c *CaseCounts) NSEAReads() uint64 {
+	return c.ReadOwned + c.ReadSharedOwned + c.ReadExclusive + c.ReadShare + c.ReadShared
+}
+
+// NSEAWrites returns the non-same-epoch write count.
+func (c *CaseCounts) NSEAWrites() uint64 {
+	return c.WriteOwned + c.WriteExclusive + c.WriteShared
+}
+
+// HeldAtLeast returns the number of NSEAs holding at least k locks (k ≤ 3).
+func (c *CaseCounts) HeldAtLeast(k int) uint64 {
+	var n uint64
+	for i := k; i < len(c.HeldAtNSEA); i++ {
+		n += c.HeldAtNSEA[i]
+	}
+	return n
+}
+
+// Analysis is SmartTrack-WCP, SmartTrack-DC, or SmartTrack-WDC.
+type Analysis struct {
+	rel     analysis.Relation
+	s       *analysis.SyncState
+	rb      *ccs.RuleB // epoch acquire queues; nil for WDC
+	vars    []stVar
+	ht      []csList // current CS list per thread
+	col     *report.Collector
+	cases   CaseCounts
+	threads int
+	idx     int32
+	raced   bool // one dynamic race per access event
+}
+
+// Options tunes SmartTrack for ablation studies.
+type Options struct {
+	// VectorAcquireQueues disables the paper's final optimization (§4.2,
+	// "Optimizing Acq_m,t(t')"): rule (b) acquire queues hold full vector
+	// clocks, as in Algorithms 1 and 2, instead of epochs. Used by the
+	// ablation benchmarks only.
+	VectorAcquireQueues bool
+}
+
+// New builds a SmartTrack analysis for relation rel over tr's id spaces.
+func New(rel analysis.Relation, tr *trace.Trace) *Analysis {
+	return NewWithOptions(rel, tr, Options{})
+}
+
+// NewWithOptions builds a SmartTrack analysis with ablation options.
+func NewWithOptions(rel analysis.Relation, tr *trace.Trace, opts Options) *Analysis {
+	if rel == analysis.HB {
+		panic("core: SmartTrack does not apply to HB (Table 1 marks it N/A)")
+	}
+	a := &Analysis{
+		rel:     rel,
+		s:       analysis.NewSyncState(rel, tr),
+		vars:    make([]stVar, tr.Vars),
+		ht:      make([]csList, tr.Threads),
+		col:     report.NewCollector(),
+		threads: tr.Threads,
+	}
+	if rel != analysis.WDC {
+		// SmartTrack's default uses epoch acquire queues: because every
+		// analysis ticks the local clock at acquires, an epoch suffices to
+		// test whether an acquire is ordered before a later release.
+		a.rb = ccs.NewRuleB(rel, tr, !opts.VectorAcquireQueues)
+	}
+	return a
+}
+
+// Name implements analysis.Analysis.
+func (a *Analysis) Name() string { return "ST-" + a.rel.String() }
+
+// Races implements analysis.Analysis.
+func (a *Analysis) Races() *report.Collector { return a.col }
+
+// Cases returns the per-case frequency counters.
+func (a *Analysis) Cases() *CaseCounts { return &a.cases }
+
+// Handle implements analysis.Analysis.
+func (a *Analysis) Handle(e trace.Event) {
+	idx := a.idx
+	a.idx++
+	t := e.T
+	switch e.Op {
+	case trace.OpRead:
+		a.read(t, e.Targ, e.Loc, idx)
+	case trace.OpWrite:
+		a.write(t, e.Targ, e.Loc, idx)
+	case trace.OpAcquire:
+		a.s.PreAcquire(t, e.Targ)
+		if a.rb != nil {
+			a.rb.Acquire(t, e.Targ, a.s.P[t])
+		}
+		// Prepend the new innermost critical section with an unresolved
+		// release time: ∞ in the owner's slot makes every ordering query
+		// against it fail until the release fills it in.
+		c := vc.New(a.threads)
+		c.Set(vc.Tid(t), vc.Inf)
+		a.ht[t] = a.ht[t].push(csEntry{c: c, m: e.Targ})
+		a.s.PostAcquire(t, e.Targ)
+	case trace.OpRelease:
+		if a.rb != nil {
+			a.rb.Release(t, e.Targ, a.s, idx, nil)
+		}
+		a.fillRelease(t, e.Targ)
+		a.s.PostRelease(t, e.Targ)
+	default:
+		a.s.HandleOther(e, idx)
+	}
+}
+
+// fillRelease resolves the deferred release time of t's critical section on
+// m: the vector clock referenced by CS lists and extra metadata is updated
+// in place with the release time (HB time for WCP, relation time for
+// DC/WDC), and the entry is removed from Ht.
+func (a *Analysis) fillRelease(t trace.Tid, m uint32) {
+	l := a.ht[t]
+	for i := len(l) - 1; i >= 0; i-- { // innermost first
+		if l[i].m == m {
+			l[i].c.CopyFrom(a.releaseTime(t))
+			if i == len(l)-1 {
+				a.ht[t] = l[:i] // structured locking: truncation shares the prefix
+			} else {
+				n := make(csList, 0, len(l)-1)
+				n = append(n, l[:i]...)
+				a.ht[t] = append(n, l[i+1:]...)
+			}
+			return
+		}
+	}
+}
+
+func (a *Analysis) releaseTime(t trace.Tid) *vc.VC {
+	if a.rel == analysis.WCP {
+		return a.s.H[t]
+	}
+	return a.s.P[t]
+}
+
+func (a *Analysis) reportRace(t trace.Tid, x uint32, loc trace.Loc, idx int32, write bool, prior trace.Tid) {
+	if a.raced {
+		return
+	}
+	a.raced = true
+	a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: write, Index: int(idx), PriorTid: prior})
+}
+
+// multiCheck is Algorithm 3's MultiCheck(L, u, a): the combined CCS and
+// race check against the prior access (epoch `prior`) by thread u whose CS
+// list is l. It returns the residual critical sections neither ordered
+// before the current access nor conflicting with it.
+func (a *Analysis) multiCheck(l csList, u vc.Tid, prior vc.Epoch, t trace.Tid, p *vc.VC, x uint32, loc trace.Loc, idx int32, write bool) extras {
+	if u == vc.Tid(t) {
+		return nil // vacuous by PO; see the package comment
+	}
+	var e extras
+	for i := 0; i < len(l); i++ { // outermost → innermost
+		c := l[i].c
+		if c.Get(u) <= p.Get(u) {
+			return e // ordered: subsumes inner critical sections and the race check
+		}
+		if a.s.Holds(t, l[i].m) {
+			a.s.JoinP(t, c) // conflicting critical sections: rel(m) ≺ current access
+			return e
+		}
+		e = append(e, extraEntry{t: u, m: l[i].m, c: c})
+	}
+	if !vc.EpochLeq(prior, p) {
+		a.reportRace(t, x, loc, idx, write, trace.Tid(u))
+	}
+	return e
+}
+
+func (a *Analysis) nsea(t trace.Tid) {
+	held := len(a.s.Held(t))
+	if held > 3 {
+		held = 3
+	}
+	a.cases.HeldAtNSEA[held]++
+}
+
+func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	a.raced = false
+	p := a.s.P[t]
+	tt := vc.Tid(t)
+	c := p.Get(tt)
+	cur := vc.E(tt, c)
+	v := &a.vars[x]
+	if v.rvc == nil && v.r == cur {
+		a.cases.ReadSameEpoch++
+		return // [Read Same Epoch]
+	}
+	if v.rvc != nil && v.rvc.Get(tt) == c {
+		a.cases.SharedSameEpoch++
+		return // [Shared Same Epoch]
+	}
+	a.nsea(t)
+	// Extra write metadata: order with otherwise-lost write critical
+	// sections on any lock the current thread holds (Read lines 4–6).
+	if len(v.ew) > 0 {
+		for _, m := range a.s.Held(t) {
+			for _, ent := range v.ew {
+				if ent.m == m && ent.t != tt {
+					a.s.JoinP(t, ent.c)
+				}
+			}
+		}
+	}
+	if v.rvc == nil {
+		if v.r != vc.None && v.r.Tid() == tt { // [Read Owned]
+			a.cases.ReadOwned++
+			v.lr = a.ht[t]
+			v.r = cur
+			return
+		}
+		u := v.r.Tid()
+		// The prior access and *all* of its critical sections are ordered
+		// before the current read iff the outermost release is (line 11).
+		var ordered bool
+		if len(v.lr) > 0 {
+			ordered = v.lr[0].c.Get(u) <= p.Get(u)
+		} else {
+			ordered = vc.EpochLeq(v.r, p)
+		}
+		if ordered { // [Read Exclusive]
+			a.cases.ReadExclusive++
+			v.lr = a.ht[t]
+			v.r = cur
+			return
+		}
+		// [Read Share]
+		a.cases.ReadShare++
+		a.multiCheck(v.lw, v.w.Tid(), v.w, t, p, x, loc, idx, false)
+		lrByT := make([]csList, a.threads)
+		lrByT[u] = v.lr
+		lrByT[tt] = a.ht[t]
+		v.lrByT = lrByT
+		v.lr = nil
+		rvc := vc.New(0)
+		rvc.Set(u, v.r.Clock())
+		rvc.Set(tt, c)
+		v.rvc = rvc
+		v.r = vc.None
+		return
+	}
+	if v.rvc.Get(tt) != 0 { // [Read Shared Owned]
+		a.cases.ReadSharedOwned++
+		v.lrByT[tt] = a.ht[t]
+		v.rvc.Set(tt, c)
+		return
+	}
+	// [Read Shared]
+	a.cases.ReadShared++
+	a.multiCheck(v.lw, v.w.Tid(), v.w, t, p, x, loc, idx, false)
+	v.lrByT[tt] = a.ht[t]
+	v.rvc.Set(tt, c)
+}
+
+func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	a.raced = false
+	p := a.s.P[t]
+	tt := vc.Tid(t)
+	c := p.Get(tt)
+	cur := vc.E(tt, c)
+	v := &a.vars[x]
+	if v.w == cur {
+		a.cases.WriteSameEpoch++
+		return // [Write Same Epoch]
+	}
+	a.nsea(t)
+	// Extra read/write metadata (Write lines 19–23): order with lost
+	// critical sections on held locks, then drop the consumed entries and
+	// the current thread's own entries.
+	if len(v.er) > 0 {
+		held := a.s.Held(t)
+		for _, m := range held {
+			for _, ent := range v.er {
+				if ent.m == m && ent.t != tt {
+					a.s.JoinP(t, ent.c)
+				}
+			}
+		}
+		v.er = dropExtras(v.er, tt, held)
+		v.ew = dropExtras(v.ew, tt, held)
+	}
+	if v.rvc == nil {
+		if v.r != vc.None && v.r.Tid() == tt { // [Write Owned]
+			a.cases.WriteOwned++
+		} else { // [Write Exclusive]
+			a.cases.WriteExclusive++
+			u := v.r.Tid()
+			e := a.multiCheck(v.lr, u, v.r, t, p, x, loc, idx, true)
+			if len(e) > 0 {
+				v.er = v.er.set(u, e)
+				v.ew = v.ew.set(u, a.multiCheck(v.lw, u, vc.None, t, p, x, loc, idx, true))
+			}
+		}
+	} else { // [Write Shared]
+		a.cases.WriteShared++
+		for u := 0; u < a.threads; u++ {
+			ut := vc.Tid(u)
+			if ut == tt || v.rvc.Get(ut) == 0 {
+				continue
+			}
+			e := a.multiCheck(v.lrByT[u], ut, vc.E(ut, v.rvc.Get(ut)), t, p, x, loc, idx, true)
+			if len(e) > 0 {
+				v.er = v.er.set(ut, e)
+				if v.w != vc.None && v.w.Tid() == ut {
+					// Lwx(u) is non-empty only for the last writer's thread.
+					v.ew = v.ew.set(ut, a.multiCheck(v.lw, ut, vc.None, t, p, x, loc, idx, true))
+				}
+			}
+		}
+	}
+	v.lw = a.ht[t]
+	v.lr = a.ht[t]
+	v.lrByT = nil
+	v.w = cur
+	v.r = cur
+	v.rvc = nil
+}
+
+// dropExtras removes entries owned by t and entries on the given locks
+// (which the caller just consumed).
+func dropExtras(ex extras, t vc.Tid, held []uint32) extras {
+	out := ex[:0]
+	for _, ent := range ex {
+		if ent.t == t {
+			continue
+		}
+		heldLock := false
+		for _, m := range held {
+			if ent.m == m {
+				heldLock = true
+				break
+			}
+		}
+		if heldLock {
+			continue
+		}
+		out = append(out, ent)
+	}
+	return out
+}
+
+// MetadataWeight implements analysis.Analysis.
+func (a *Analysis) MetadataWeight() int {
+	w := a.s.Weight()
+	if a.rb != nil {
+		w += a.rb.Weight()
+	}
+	for i := range a.vars {
+		v := &a.vars[i]
+		w += 2
+		if v.rvc != nil {
+			w += v.rvc.Weight() + 3
+		}
+		w += 2 * (len(v.lw) + len(v.lr))
+		for _, l := range v.lrByT {
+			w += 2 * len(l)
+		}
+		w += 3 * (len(v.er) + len(v.ew))
+	}
+	for _, l := range a.ht {
+		for _, ent := range l {
+			w += ent.c.Weight() + 2
+		}
+	}
+	return w
+}
+
+func init() {
+	for _, rel := range []analysis.Relation{analysis.WCP, analysis.DC, analysis.WDC} {
+		rel := rel
+		analysis.Register(rel, analysis.SmartTrack, "ST-"+rel.String(),
+			func(tr *trace.Trace) analysis.Analysis { return New(rel, tr) })
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
+	"repro/internal/vc"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, rel analysis.Relation, tr *trace.Trace) *Analysis {
+	t.Helper()
+	a := New(rel, tr)
+	for _, e := range tr.Events {
+		a.Handle(e)
+	}
+	return a
+}
+
+func TestNewRejectsHB(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SmartTrack-HB must panic (N/A in Table 1)")
+		}
+	}()
+	New(analysis.HB, &trace.Trace{Threads: 1})
+}
+
+func TestSameEpochCases(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("T1", "x"). // Write Exclusive (first access)
+				Write("T1", "x"). // Write Same Epoch
+				Read("T1", "x").  // Read Same Epoch (Rx == cur after write)
+				Read("T1", "x")   // Read Same Epoch
+	a := run(t, analysis.WDC, trace.MustCheck(b.Build()))
+	c := a.Cases()
+	if c.WriteSameEpoch != 1 || c.ReadSameEpoch != 2 || c.WriteExclusive != 1 {
+		t.Errorf("cases = %+v", *c)
+	}
+}
+
+func TestOwnedCases(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Read("T1", "x"). // Read Exclusive (first)
+				Acq("T1", "m").   // epoch tick
+				Read("T1", "x").  // Read Owned (same thread, new epoch)
+				Write("T1", "x"). // Write Owned
+				Rel("T1", "m")
+	a := run(t, analysis.WDC, trace.MustCheck(b.Build()))
+	c := a.Cases()
+	if c.ReadOwned != 1 || c.WriteOwned != 1 || c.ReadExclusive != 1 {
+		t.Errorf("cases = %+v", *c)
+	}
+}
+
+func TestReadShareUpgrade(t *testing.T) {
+	// Two unordered readers force [Read Share]; a third in yet another
+	// thread takes [Read Shared]; re-reads take the same-epoch/owned paths.
+	b := trace.NewBuilder()
+	b.Read("T1", "x").
+		Read("T2", "x"). // Read Share (T1's read unordered)
+		Read("T3", "x"). // Read Shared
+		Acq("T2", "m").
+		Read("T2", "x"). // Read Shared Owned (T2 has a slot, new epoch)
+		Rel("T2", "m")
+	a := run(t, analysis.WDC, trace.MustCheck(b.Build()))
+	c := a.Cases()
+	if c.ReadShare != 1 || c.ReadShared != 1 || c.ReadSharedOwned != 1 {
+		t.Errorf("cases = %+v", *c)
+	}
+}
+
+func TestWriteSharedAfterReads(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Read("T1", "x").
+		Read("T2", "x").
+		Write("T3", "x") // Write Shared — races with both readers
+	a := run(t, analysis.WDC, trace.MustCheck(b.Build()))
+	if a.Cases().WriteShared != 1 {
+		t.Errorf("cases = %+v", *a.Cases())
+	}
+	// One access ⇒ at most one dynamic race (§5.1) even though the write
+	// conflicts with two prior reads.
+	if got := a.Races().Dynamic(); got != 1 {
+		t.Errorf("dynamic races = %d, want 1", got)
+	}
+}
+
+func TestNSEAAccounting(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").
+		Write("T1", "x").
+		Write("T1", "x"). // same epoch: not an NSEA
+		Rel("T1", "m").
+		Read("T2", "y")
+	a := run(t, analysis.WDC, trace.MustCheck(b.Build()))
+	c := a.Cases()
+	if c.NSEAWrites() != 1 || c.NSEAReads() != 1 {
+		t.Errorf("NSEAs: reads=%d writes=%d", c.NSEAReads(), c.NSEAWrites())
+	}
+	if c.HeldAtLeast(1) != 1 || c.HeldAtLeast(2) != 0 {
+		t.Errorf("held histogram = %v", c.HeldAtNSEA)
+	}
+}
+
+// TestExtrasLifecycle drives the Er/Ew metadata through its full cycle
+// using Figure 4(c): created at T2's write (residual of T1's open critical
+// section), consumed at T3's read under the same lock.
+func TestExtrasLifecycle(t *testing.T) {
+	fig := workload.Figure4C()
+	a := New(analysis.DC, fig.Trace)
+	sawExtra := false
+	for _, e := range fig.Trace.Events {
+		a.Handle(e)
+		v := &a.vars[fig.RaceVar]
+		if len(v.ew) > 0 {
+			sawExtra = true
+		}
+	}
+	if !sawExtra {
+		t.Error("figure 4(c) must populate Ew at T2's write")
+	}
+	if a.Races().Dynamic() != 0 {
+		t.Errorf("figure 4(c) has no DC races, got %v", a.Races().Races())
+	}
+}
+
+func TestExtrasClearedAtOwnWrite(t *testing.T) {
+	fig := workload.Figure4D()
+	a := run(t, analysis.DC, fig.Trace)
+	if a.Races().Dynamic() != 0 {
+		t.Errorf("figure 4(d) has no DC races, got %v", a.Races().Races())
+	}
+}
+
+func TestCSListPushIsImmutable(t *testing.T) {
+	var l csList
+	c1 := vc.New(1)
+	l1 := l.push(csEntry{c: c1, m: 0})
+	l2 := l1.push(csEntry{c: c1, m: 1})
+	l3 := l1.push(csEntry{c: c1, m: 2})
+	if len(l1) != 1 || len(l2) != 2 || len(l3) != 2 {
+		t.Fatal("push must copy")
+	}
+	if l2[1].m != 1 || l3[1].m != 2 {
+		t.Error("pushes onto a shared prefix must not alias")
+	}
+}
+
+func TestExtrasSetReplaces(t *testing.T) {
+	c := vc.New(1)
+	ex := extras{{t: 1, m: 0, c: c}, {t: 2, m: 1, c: c}}
+	ex = ex.set(1, extras{{t: 1, m: 5, c: c}})
+	if len(ex) != 2 {
+		t.Fatalf("ex = %v", ex)
+	}
+	for _, e := range ex {
+		if e.t == 1 && e.m != 5 {
+			t.Error("old entries for thread 1 must be replaced")
+		}
+	}
+}
+
+func TestFillReleaseOutOfOrder(t *testing.T) {
+	// Non-block-structured locking: acq(m); acq(n); rel(m); rel(n).
+	// fillRelease must locate m's entry even though it is not innermost.
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").Acq("T1", "n").
+		Write("T1", "x").
+		Rel("T1", "m").Rel("T1", "n").
+		Acq("T2", "n").Read("T2", "x").Rel("T2", "n")
+	tr := trace.MustCheck(b.Build())
+	a := run(t, analysis.WDC, tr)
+	// T2's read is in a conflicting critical section on n: no race.
+	if a.Races().Dynamic() != 0 {
+		t.Errorf("unexpected races: %v", a.Races().Races())
+	}
+	if len(a.ht[0]) != 0 {
+		t.Errorf("T1's CS list not drained: %v", a.ht[0])
+	}
+}
+
+// TestDeferredReleaseVisibleThroughSharedVC is the heart of SmartTrack's CS
+// lists: metadata captured while a critical section is open must see the
+// release time once it happens, through the shared vector clock reference.
+func TestDeferredReleaseVisibleThroughSharedVC(t *testing.T) {
+	fig := workload.Figure4A()
+	a := run(t, analysis.DC, fig.Trace)
+	if a.Races().Dynamic() != 0 {
+		t.Errorf("figure 4(a) has no DC races, got %v", a.Races().Races())
+	}
+	// T2's rd(x) must have taken [Read Share] — the paper's walkthrough.
+	if a.Cases().ReadShare == 0 {
+		t.Error("figure 4(a) must exercise [Read Share]")
+	}
+}
+
+func TestMetadataWeightGrows(t *testing.T) {
+	small := workload.Figure1()
+	a := run(t, analysis.DC, small.Trace)
+	w1 := a.MetadataWeight()
+	if w1 <= 0 {
+		t.Fatal("weight must be positive")
+	}
+	p, _ := workload.ProgramByName("xalan")
+	big := p.Generate(80000, 1)
+	a2 := run(t, analysis.DC, big)
+	if a2.MetadataWeight() <= w1 {
+		t.Error("bigger workload must retain more metadata")
+	}
+}
+
+func TestWDCvsDCOnFigure3(t *testing.T) {
+	fig := workload.Figure3()
+	dc := run(t, analysis.DC, fig.Trace)
+	wdc := run(t, analysis.WDC, fig.Trace)
+	if dc.Races().Dynamic() != 0 {
+		t.Errorf("ST-DC must order figure 3 via rule (b): %v", dc.Races().Races())
+	}
+	if wdc.Races().Dynamic() != 1 {
+		t.Errorf("ST-WDC must report figure 3's race, got %d", wdc.Races().Dynamic())
+	}
+}
+
+func TestNamesAndAccessors(t *testing.T) {
+	tr := workload.Figure1().Trace
+	for rel, want := range map[analysis.Relation]string{
+		analysis.WCP: "ST-WCP", analysis.DC: "ST-DC", analysis.WDC: "ST-WDC",
+	} {
+		a := New(rel, tr)
+		if a.Name() != want {
+			t.Errorf("Name = %q", a.Name())
+		}
+		if a.Races() == nil || a.Cases() == nil {
+			t.Error("nil accessors")
+		}
+	}
+}

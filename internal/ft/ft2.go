@@ -1,0 +1,144 @@
+// Package ft implements FT2, the FastTrack2 epoch-based happens-before
+// analysis (Flanagan & Freund 2017), the paper's primary HB baseline.
+//
+// Per §5.4's description of the paper's own FT2 variant, this
+// implementation updates last-access metadata after every event even when a
+// race is detected, never stops analyzing a variable, and counts every
+// race.
+package ft
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+type varState struct {
+	w   vc.Epoch
+	r   vc.Epoch // valid when rvc == nil
+	rvc *vc.VC   // read-shared vector clock, nil in epoch mode
+}
+
+// Analysis is the FT2 detector.
+type Analysis struct {
+	s    *analysis.SyncState
+	vars []varState
+	col  *report.Collector
+	idx  int32
+}
+
+// New builds an FT2 analysis for tr's id spaces.
+func New(tr *trace.Trace) *Analysis {
+	return &Analysis{
+		s:    analysis.NewSyncState(analysis.HB, tr),
+		vars: make([]varState, tr.Vars),
+		col:  report.NewCollector(),
+	}
+}
+
+// Name implements analysis.Analysis.
+func (a *Analysis) Name() string { return "FT2" }
+
+// Races implements analysis.Analysis.
+func (a *Analysis) Races() *report.Collector { return a.col }
+
+// Handle implements analysis.Analysis.
+func (a *Analysis) Handle(e trace.Event) {
+	idx := a.idx
+	a.idx++
+	t := e.T
+	switch e.Op {
+	case trace.OpRead:
+		a.read(t, e.Targ, e.Loc, idx)
+	case trace.OpWrite:
+		a.write(t, e.Targ, e.Loc, idx)
+	case trace.OpAcquire:
+		a.s.PreAcquire(t, e.Targ)
+		a.s.PostAcquire(t, e.Targ)
+	case trace.OpRelease:
+		a.s.PostRelease(t, e.Targ)
+	default:
+		a.s.HandleOther(e, idx)
+	}
+}
+
+func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	p := a.s.P[t]
+	tt := vc.Tid(t)
+	c := p.Get(tt)
+	cur := vc.E(tt, c)
+	v := &a.vars[x]
+	if v.rvc == nil && v.r == cur {
+		return // [Read Same Epoch]
+	}
+	if v.rvc != nil && v.rvc.Get(tt) == c {
+		return // [Read Shared Same Epoch]
+	}
+	if !vc.EpochLeq(v.w, p) { // write–read race check
+		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Index: int(idx), PriorTid: trace.Tid(v.w.Tid())})
+	}
+	switch {
+	case v.rvc != nil: // [Read Shared]
+		v.rvc.Set(tt, c)
+	case vc.EpochLeq(v.r, p): // [Read Exclusive]
+		v.r = cur
+	default: // [Read Share] — upgrade to a read vector clock
+		v.rvc = vc.New(0)
+		v.rvc.Set(v.r.Tid(), v.r.Clock())
+		v.rvc.Set(tt, c)
+		v.r = vc.None
+	}
+}
+
+func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	p := a.s.P[t]
+	tt := vc.Tid(t)
+	c := p.Get(tt)
+	cur := vc.E(tt, c)
+	v := &a.vars[x]
+	if v.w == cur {
+		return // [Write Same Epoch]
+	}
+	raced := false
+	var prior trace.Tid = report.UnknownTid
+	if !vc.EpochLeq(v.w, p) { // write–write race check
+		raced = true
+		prior = trace.Tid(v.w.Tid())
+	}
+	if v.rvc == nil { // [Write Exclusive]
+		if !vc.EpochLeq(v.r, p) {
+			if !raced {
+				prior = trace.Tid(v.r.Tid())
+			}
+			raced = true
+		}
+	} else { // [Write Shared]
+		if !v.rvc.Leq(p) {
+			raced = true
+		}
+		v.rvc = nil // FastTrack collapses read state after a shared write
+		v.r = vc.None
+	}
+	if raced {
+		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: true, Index: int(idx), PriorTid: prior})
+	}
+	v.w = cur
+}
+
+// MetadataWeight implements analysis.Analysis.
+func (a *Analysis) MetadataWeight() int {
+	w := a.s.Weight()
+	for i := range a.vars {
+		w += 2
+		if a.vars[i].rvc != nil {
+			w += a.vars[i].rvc.Weight() + 3
+		}
+	}
+	return w
+}
+
+func init() {
+	analysis.Register(analysis.HB, analysis.FT2, "FT2",
+		func(tr *trace.Trace) analysis.Analysis { return New(tr) })
+}

@@ -1,0 +1,240 @@
+// Package fto implements Algorithm 2: the FastTrack-Ownership (FTO)
+// analyses of Wood et al. 2017, applied both to HB (FTO-HB, the paper's
+// representative FastTrack-family baseline) and — for the first time in the
+// paper — to the predictive relations WCP, DC, and WDC (FTO-WCP, FTO-DC,
+// FTO-WDC).
+//
+// Ownership adds the [Read Owned], [Read Shared Owned], and [Write Owned]
+// cases, which skip race checks when the current thread already owns the
+// last-access metadata. The predictive variants additionally apply rule (a)
+// joins (conflicting critical sections, via ccs.LockTables) and rule (b)
+// (via ccs.RuleB; omitted for WDC) before the ownership case analysis.
+package fto
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ccs"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+type varState struct {
+	w   vc.Epoch
+	r   vc.Epoch // valid when rvc == nil
+	rvc *vc.VC   // read vector clock when shared; nil in epoch mode
+}
+
+// Stats are run-time characteristics gathered while the analysis runs,
+// backing the paper's Table 2.
+type Stats struct {
+	// Reads and Writes count all access events.
+	Reads, Writes uint64
+	// NSEAReads and NSEAWrites count non-same-epoch accesses.
+	NSEAReads, NSEAWrites uint64
+	// HeldAtNSEA[k] counts NSEAs executed while holding exactly k locks
+	// (bucket 3 means ≥ 3).
+	HeldAtNSEA [4]uint64
+}
+
+// NSEAs returns the total number of non-same-epoch accesses.
+func (s *Stats) NSEAs() uint64 { return s.NSEAReads + s.NSEAWrites }
+
+// HeldAtLeast returns the number of NSEAs holding at least k locks (k ≤ 3).
+func (s *Stats) HeldAtLeast(k int) uint64 {
+	var n uint64
+	for i := k; i < len(s.HeldAtNSEA); i++ {
+		n += s.HeldAtNSEA[i]
+	}
+	return n
+}
+
+// Analysis is an FTO-based detector for one of the four relations.
+type Analysis struct {
+	rel  analysis.Relation
+	s    *analysis.SyncState
+	lt   *ccs.LockTables // nil for HB
+	rb   *ccs.RuleB      // nil for HB and WDC
+	vars []varState
+	col  *report.Collector
+	st   Stats
+	idx  int32
+}
+
+// New builds an FTO analysis for relation rel over tr's id spaces.
+func New(rel analysis.Relation, tr *trace.Trace) *Analysis {
+	a := &Analysis{
+		rel:  rel,
+		s:    analysis.NewSyncState(rel, tr),
+		vars: make([]varState, tr.Vars),
+		col:  report.NewCollector(),
+	}
+	if rel != analysis.HB {
+		a.lt = ccs.NewLockTables(tr, true) // FTO: Lr/Rm represent reads and writes
+		if rel != analysis.WDC {
+			a.rb = ccs.NewRuleB(rel, tr, false)
+		}
+	}
+	return a
+}
+
+// Name implements analysis.Analysis.
+func (a *Analysis) Name() string { return "FTO-" + a.rel.String() }
+
+// Races implements analysis.Analysis.
+func (a *Analysis) Races() *report.Collector { return a.col }
+
+// Stats returns the run-time characteristics gathered so far.
+func (a *Analysis) Stats() *Stats { return &a.st }
+
+// Handle implements analysis.Analysis.
+func (a *Analysis) Handle(e trace.Event) {
+	idx := a.idx
+	a.idx++
+	t := e.T
+	switch e.Op {
+	case trace.OpRead:
+		a.read(t, e.Targ, e.Loc, idx)
+	case trace.OpWrite:
+		a.write(t, e.Targ, e.Loc, idx)
+	case trace.OpAcquire:
+		a.s.PreAcquire(t, e.Targ)
+		if a.rb != nil {
+			a.rb.Acquire(t, e.Targ, a.s.P[t])
+		}
+		a.s.PostAcquire(t, e.Targ)
+	case trace.OpRelease:
+		if a.rb != nil {
+			a.rb.Release(t, e.Targ, a.s, idx, nil)
+		}
+		if a.lt != nil {
+			a.lt.Release(t, e.Targ, a.releaseTime(t), idx)
+		}
+		a.s.PostRelease(t, e.Targ)
+	default:
+		a.s.HandleOther(e, idx)
+	}
+}
+
+func (a *Analysis) releaseTime(t trace.Tid) *vc.VC {
+	if a.rel == analysis.WCP {
+		return a.s.H[t]
+	}
+	return a.s.P[t]
+}
+
+func (a *Analysis) nsea(t trace.Tid) {
+	held := len(a.s.Held(t))
+	if held > 3 {
+		held = 3
+	}
+	a.st.HeldAtNSEA[held]++
+}
+
+func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	a.st.Reads++
+	p := a.s.P[t]
+	tt := vc.Tid(t)
+	c := p.Get(tt)
+	cur := vc.E(tt, c)
+	v := &a.vars[x]
+	if v.rvc == nil && v.r == cur {
+		return // [Read Same Epoch]
+	}
+	if v.rvc != nil && v.rvc.Get(tt) == c {
+		return // [Shared Same Epoch]
+	}
+	a.st.NSEAReads++
+	a.nsea(t)
+	if a.lt != nil {
+		for _, m := range a.s.Held(t) {
+			a.lt.ReadJoin(t, m, x, a.s, idx, nil)
+		}
+	}
+	if v.rvc == nil {
+		switch {
+		case v.r != vc.None && v.r.Tid() == tt: // [Read Owned]
+			v.r = cur
+		case vc.EpochLeq(v.r, p): // [Read Exclusive] (covers first access)
+			v.r = cur
+		default: // [Read Share]
+			if !vc.EpochLeq(v.w, p) {
+				a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Index: int(idx), PriorTid: trace.Tid(v.w.Tid())})
+			}
+			v.rvc = vc.New(0)
+			v.rvc.Set(v.r.Tid(), v.r.Clock())
+			v.rvc.Set(tt, c)
+			v.r = vc.None
+		}
+		return
+	}
+	if v.rvc.Get(tt) != 0 { // [Read Shared Owned]
+		v.rvc.Set(tt, c)
+		return
+	}
+	// [Read Shared]
+	if !vc.EpochLeq(v.w, p) {
+		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Index: int(idx), PriorTid: trace.Tid(v.w.Tid())})
+	}
+	v.rvc.Set(tt, c)
+}
+
+func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	a.st.Writes++
+	p := a.s.P[t]
+	tt := vc.Tid(t)
+	c := p.Get(tt)
+	cur := vc.E(tt, c)
+	v := &a.vars[x]
+	if v.w == cur {
+		return // [Write Same Epoch]
+	}
+	a.st.NSEAWrites++
+	a.nsea(t)
+	if a.lt != nil {
+		for _, m := range a.s.Held(t) {
+			a.lt.WriteJoin(t, m, x, a.s, idx, nil)
+		}
+	}
+	if v.rvc == nil {
+		if v.r == vc.None || v.r.Tid() != tt { // [Write Exclusive]
+			if !vc.EpochLeq(v.r, p) {
+				a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: true, Index: int(idx), PriorTid: trace.Tid(v.r.Tid())})
+			}
+		}
+		// else [Write Owned]: skip the race check.
+	} else { // [Write Shared]
+		if !v.rvc.Leq(p) {
+			a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: true, Index: int(idx), PriorTid: report.UnknownTid})
+		}
+	}
+	v.w = cur
+	v.r = cur
+	v.rvc = nil
+}
+
+// MetadataWeight implements analysis.Analysis.
+func (a *Analysis) MetadataWeight() int {
+	w := a.s.Weight()
+	for i := range a.vars {
+		w += 2
+		if a.vars[i].rvc != nil {
+			w += a.vars[i].rvc.Weight() + 3
+		}
+	}
+	if a.lt != nil {
+		w += a.lt.Weight()
+	}
+	if a.rb != nil {
+		w += a.rb.Weight()
+	}
+	return w
+}
+
+func init() {
+	for _, rel := range analysis.Relations {
+		rel := rel
+		analysis.Register(rel, analysis.FTO, "FTO-"+rel.String(),
+			func(tr *trace.Trace) analysis.Analysis { return New(rel, tr) })
+	}
+}

@@ -1,0 +1,94 @@
+// Package graph holds the event constraint graph the "w/G" analyses build
+// during unoptimized predictive analysis (Roemer et al. 2018): nodes are
+// trace event indices, edges are cross-thread ordering constraints —
+// rule (a) and rule (b) edges, fork/join, volatile, class-init, and
+// last-writer edges. Program order is implicit (events of one thread are
+// ordered by trace index). Vindication consumes the graph to construct a
+// witness reordering.
+package graph
+
+import "sort"
+
+// Graph is an event constraint graph over a trace of N events.
+type Graph struct {
+	N     int
+	edges [][2]int32
+
+	adj  [][]int32 // built on demand by Succ/Pred
+	radj [][]int32
+}
+
+// New returns an empty graph over n events.
+func New(n int) *Graph { return &Graph{N: n} }
+
+// Edge records the constraint src before dst. It implements
+// analysis.Hook. Self and negative edges are ignored.
+func (g *Graph) Edge(src, dst int32) {
+	if src < 0 || src == dst {
+		return
+	}
+	g.edges = append(g.edges, [2]int32{src, dst})
+	g.adj, g.radj = nil, nil
+}
+
+// Len returns the number of recorded cross-thread edges.
+func (g *Graph) Len() int { return len(g.edges) }
+
+// Edges returns the raw edge list (aliased; callers must not modify).
+func (g *Graph) Edges() [][2]int32 { return g.edges }
+
+func (g *Graph) build() {
+	if g.adj != nil {
+		return
+	}
+	g.adj = make([][]int32, g.N)
+	g.radj = make([][]int32, g.N)
+	for _, e := range g.edges {
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.radj[e[1]] = append(g.radj[e[1]], e[0])
+	}
+	for i := range g.adj {
+		sortDedup(&g.adj[i])
+		sortDedup(&g.radj[i])
+	}
+}
+
+func sortDedup(s *[]int32) {
+	v := *s
+	if len(v) < 2 {
+		return
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	out := v[:1]
+	for _, x := range v[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	*s = out
+}
+
+// Succ returns the cross-thread successors of event i.
+func (g *Graph) Succ(i int32) []int32 {
+	g.build()
+	return g.adj[i]
+}
+
+// Pred returns the cross-thread predecessors of event i.
+func (g *Graph) Pred(i int32) []int32 {
+	g.build()
+	return g.radj[i]
+}
+
+// Weight estimates the graph's retained memory in 8-byte words — the
+// "w/G" analyses' extra footprint.
+func (g *Graph) Weight() int {
+	w := len(g.edges)
+	if g.adj != nil {
+		w += 2 * g.N
+		for i := range g.adj {
+			w += (len(g.adj[i]) + len(g.radj[i])) / 2
+		}
+	}
+	return w
+}

@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+func TestEdgeRecording(t *testing.T) {
+	g := New(6)
+	g.Edge(0, 2)
+	g.Edge(1, 2)
+	g.Edge(0, 2) // duplicate kept in raw list, deduped in adjacency
+	g.Edge(4, 5)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.Pred(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Pred(2) = %v", got)
+	}
+	if got := g.Succ(0); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Succ(0) = %v", got)
+	}
+	if got := g.Succ(3); len(got) != 0 {
+		t.Errorf("Succ(3) = %v", got)
+	}
+}
+
+func TestEdgeIgnoresInvalid(t *testing.T) {
+	g := New(3)
+	g.Edge(-1, 1) // unknown source (e.g. no prior volatile write)
+	g.Edge(2, 2)  // self edge
+	if g.Len() != 0 {
+		t.Errorf("invalid edges recorded: %v", g.Edges())
+	}
+}
+
+func TestAdjacencyInvalidatedByNewEdges(t *testing.T) {
+	g := New(4)
+	g.Edge(0, 1)
+	if len(g.Succ(0)) != 1 {
+		t.Fatal("first build")
+	}
+	g.Edge(0, 2)
+	if len(g.Succ(0)) != 2 {
+		t.Error("adjacency must rebuild after Edge")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	g := New(4)
+	if g.Weight() != 0 {
+		t.Error("empty graph weighs 0")
+	}
+	g.Edge(0, 1)
+	g.Succ(0) // force adjacency
+	if g.Weight() <= 0 {
+		t.Error("built graph must have weight")
+	}
+}
+
+func TestSortDedup(t *testing.T) {
+	s := []int32{3, 1, 3, 2, 1}
+	sortDedup(&s)
+	if len(s) != 3 || s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Errorf("sortDedup = %v", s)
+	}
+	one := []int32{7}
+	sortDedup(&one)
+	if len(one) != 1 {
+		t.Errorf("singleton mangled: %v", one)
+	}
+}

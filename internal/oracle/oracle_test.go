@@ -1,0 +1,155 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestFigureGroundTruth(t *testing.T) {
+	// The oracle must agree with the paper about every figure: Figures 1
+	// and 2 contain true predictable races on x; Figure 3's WDC-race is not
+	// predictable; Figures 4(a–d) have no race at all.
+	for _, fig := range workload.Figures() {
+		res := RaceOnVar(fig.Trace, fig.RaceVar, Budget{})
+		if !res.Complete {
+			t.Fatalf("%s: oracle budget exhausted", fig.Name)
+		}
+		if res.Predictable != fig.Predictable {
+			t.Errorf("%s: oracle says predictable=%v, paper says %v",
+				fig.Name, res.Predictable, fig.Predictable)
+		}
+	}
+}
+
+func TestAdjacentConflict(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("T1", "x").Write("T2", "x")
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 0, 1, Budget{}); !r.Predictable || !r.Complete {
+		t.Errorf("adjacent writes must race: %+v", r)
+	}
+}
+
+func TestNonConflictingPairs(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Read("T1", "x").Read("T2", "x"). // read-read: never a race
+						Write("T1", "y").Write("T1", "y") // same thread
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 0, 1, Budget{}); r.Predictable {
+		t.Error("read-read raced")
+	}
+	if r := PredictableRace(tr, 2, 3, Budget{}); r.Predictable {
+		t.Error("same-thread pair raced")
+	}
+}
+
+func TestLockMutualExclusionBlocksRace(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").Write("T1", "x").Rel("T1", "m").
+		Acq("T2", "m").Write("T2", "x").Rel("T2", "m")
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 1, 4, Budget{}); r.Predictable {
+		t.Error("same-lock critical sections can never co-enable their accesses")
+	}
+}
+
+func TestDifferentLocksRace(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").Write("T1", "x").Rel("T1", "m").
+		Acq("T2", "n").Write("T2", "x").Rel("T2", "n")
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 1, 4, Budget{}); !r.Predictable {
+		t.Error("disjoint locks do not order the writes")
+	}
+}
+
+func TestLastWriterConstraint(t *testing.T) {
+	// T2's rd(y) observes T1's wr(y); therefore T1's wr(x) (before wr(y))
+	// must precede T2's rd(y) in every correct reordering, ordering it
+	// before T2's wr(x): no race.
+	b := trace.NewBuilder()
+	b.Write("T1", "x").
+		Write("T1", "y").
+		Read("T2", "y").
+		Write("T2", "x")
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 0, 3, Budget{}); r.Predictable {
+		t.Error("last-writer dependency must order the writes")
+	}
+}
+
+func TestRacingReadExemptFromLastWriter(t *testing.T) {
+	// The racing read's own value may change — co-enabledness exempts it.
+	// T1 writes x, T2 reads x (seeing T1's write): they race even though
+	// reordering them would change the read's writer.
+	b := trace.NewBuilder()
+	b.Write("T1", "x").Read("T2", "x")
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 0, 1, Budget{}); !r.Predictable {
+		t.Error("write→read pair with no sync must race")
+	}
+}
+
+func TestForkOrdersChild(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("T1", "x").
+		Fork("T1", "T2").
+		Write("T2", "x")
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 0, 2, Budget{}); r.Predictable {
+		t.Error("a child cannot run before its fork")
+	}
+}
+
+func TestJoinOrdersParentSuffix(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Fork("T1", "T2").
+		Write("T2", "x").
+		Join("T1", "T2").
+		Write("T1", "x")
+	tr := trace.MustCheck(b.Build())
+	if r := PredictableRace(tr, 1, 3, Budget{}); r.Predictable {
+		t.Error("join must order the child's events before the parent's suffix")
+	}
+}
+
+func TestAnyRace(t *testing.T) {
+	fig := workload.Figure1()
+	e1, e2, res := AnyRace(fig.Trace, Budget{})
+	if !res.Predictable || e1 < 0 || e2 <= e1 {
+		t.Fatalf("AnyRace = (%d, %d, %+v)", e1, e2, res)
+	}
+	fig3 := workload.Figure3()
+	if _, _, res := AnyRace(fig3.Trace, Budget{}); res.Predictable {
+		t.Error("figure 3 has no predictable race anywhere")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	p, _ := workload.ProgramByName("pmd")
+	tr := p.Generate(400000, 1)
+	// Find some conflicting pair to query with an absurdly small budget.
+	e1, e2 := -1, -1
+	for j := range tr.Events {
+		if tr.Events[j].Op.IsAccess() {
+			for i := 0; i < j; i++ {
+				if tr.Events[i].Op == trace.OpWrite && tr.Events[i].Targ == tr.Events[j].Targ &&
+					tr.Events[i].T != tr.Events[j].T {
+					e1, e2 = i, j
+				}
+			}
+		}
+		if e1 >= 0 {
+			break
+		}
+	}
+	if e1 < 0 {
+		t.Skip("no conflicting pair found")
+	}
+	r := PredictableRace(tr, e1, e2, Budget{MaxStates: 3})
+	if r.Complete && r.States > 3 {
+		t.Errorf("budget not respected: %+v", r)
+	}
+}

@@ -1,0 +1,110 @@
+// Package report collects data races detected by an analysis and produces
+// the paper's two headline counts: statically distinct races (distinct
+// program locations, Table 7's first number) and total dynamic races (the
+// parenthesized number).
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Race describes one dynamic race detection: the access that failed a race
+// check, plus the prior-access epoch information the analysis had.
+type Race struct {
+	// Loc is the static program location of the detecting access.
+	Loc trace.Loc
+	// Var is the variable the race is on.
+	Var uint32
+	// Tid is the thread executing the detecting access.
+	Tid trace.Tid
+	// Write reports whether the detecting access is a write.
+	Write bool
+	// Index is the trace index of the detecting access (or the event
+	// sequence number for online detection).
+	Index int
+	// PriorTid is the thread of a conflicting prior access, when the
+	// analysis has it in epoch form (best effort; 0xFFFF if unknown).
+	PriorTid trace.Tid
+}
+
+// UnknownTid marks a Race whose prior thread was not recoverable (e.g. a
+// vector-clock comparison that failed on several components).
+const UnknownTid trace.Tid = 0xFFFF
+
+func (r Race) String() string {
+	kind := "rd"
+	if r.Write {
+		kind = "wr"
+	}
+	return fmt.Sprintf("race on x%d at loc%d (T%d %s, event %d)", r.Var, r.Loc, r.Tid, kind, r.Index)
+}
+
+// Collector accumulates dynamic races. Following §5.1, multiple failed
+// checks at one access count as a single dynamic race: analyses must call
+// Add at most once per access event (the engines guarantee this).
+type Collector struct {
+	races      []Race
+	staticSet  map[trace.Loc]int // loc -> dynamic count
+	varSet     map[uint32]int    // var -> dynamic count
+	firstByVar map[uint32]Race
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		staticSet:  make(map[trace.Loc]int),
+		varSet:     make(map[uint32]int),
+		firstByVar: make(map[uint32]Race),
+	}
+}
+
+// Add records one dynamic race.
+func (c *Collector) Add(r Race) {
+	c.races = append(c.races, r)
+	c.staticSet[r.Loc]++
+	c.varSet[r.Var]++
+	if _, ok := c.firstByVar[r.Var]; !ok {
+		c.firstByVar[r.Var] = r
+	}
+}
+
+// Dynamic returns the total number of dynamic races.
+func (c *Collector) Dynamic() int { return len(c.races) }
+
+// Static returns the number of statically distinct races (program
+// locations).
+func (c *Collector) Static() int { return len(c.staticSet) }
+
+// Races returns all dynamic races in detection order. The returned slice is
+// owned by the collector.
+func (c *Collector) Races() []Race { return c.races }
+
+// RaceVars returns the sorted set of variables with at least one race —
+// the quantity the cross-analysis property tests compare.
+func (c *Collector) RaceVars() []uint32 {
+	vars := make([]uint32, 0, len(c.varSet))
+	for v := range c.varSet {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	return vars
+}
+
+// FirstRace returns the first dynamic race on variable v, if any.
+func (c *Collector) FirstRace(v uint32) (Race, bool) {
+	r, ok := c.firstByVar[v]
+	return r, ok
+}
+
+// StaticLocs returns the sorted racing program locations.
+func (c *Collector) StaticLocs() []trace.Loc {
+	locs := make([]trace.Loc, 0, len(c.staticSet))
+	for l := range c.staticSet {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	return locs
+}

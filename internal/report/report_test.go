@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCountsAndDedup(t *testing.T) {
+	c := NewCollector()
+	c.Add(Race{Loc: 5, Var: 1, Tid: 0, Index: 10})
+	c.Add(Race{Loc: 5, Var: 1, Tid: 1, Index: 20})
+	c.Add(Race{Loc: 9, Var: 2, Tid: 0, Index: 30, Write: true})
+	if c.Dynamic() != 3 {
+		t.Errorf("dynamic = %d", c.Dynamic())
+	}
+	if c.Static() != 2 {
+		t.Errorf("static = %d", c.Static())
+	}
+	if got := c.RaceVars(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("RaceVars = %v", got)
+	}
+	if got := c.StaticLocs(); len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Errorf("StaticLocs = %v", got)
+	}
+}
+
+func TestFirstRacePerVariable(t *testing.T) {
+	c := NewCollector()
+	c.Add(Race{Loc: 1, Var: 7, Index: 3})
+	c.Add(Race{Loc: 2, Var: 7, Index: 9})
+	r, ok := c.FirstRace(7)
+	if !ok || r.Index != 3 {
+		t.Errorf("FirstRace = %v, %v", r, ok)
+	}
+	if _, ok := c.FirstRace(99); ok {
+		t.Error("phantom first race")
+	}
+}
+
+func TestRacesOrderPreserved(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 5; i++ {
+		c.Add(Race{Loc: trace.Loc(i), Var: uint32(i), Index: i})
+	}
+	for i, r := range c.Races() {
+		if r.Index != i {
+			t.Fatalf("order not preserved at %d: %v", i, r)
+		}
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{Loc: 4, Var: 2, Tid: 1, Write: true, Index: 8}
+	s := r.String()
+	for _, want := range []string{"x2", "loc4", "T1", "wr", "event 8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	rd := Race{Loc: 1, Var: 0, Tid: 0}
+	if !strings.Contains(rd.String(), "rd") {
+		t.Error("read race string")
+	}
+}
+
+func TestUnknownTidSentinel(t *testing.T) {
+	if UnknownTid != 0xFFFF {
+		t.Error("UnknownTid changed; update race diagnostics")
+	}
+}

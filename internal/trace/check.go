@@ -1,0 +1,135 @@
+package trace
+
+import "fmt"
+
+// CheckError describes a well-formedness violation at a trace index.
+type CheckError struct {
+	Index int
+	Event Event
+	Msg   string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("trace: event %d (%s): %s", e.Index, e.Event, e.Msg)
+}
+
+// Check verifies the well-formedness rules the paper's formalism assumes:
+//
+//   - a thread only acquires a lock that is not held, and only releases a
+//     lock it holds (critical sections are non-reentrant and properly
+//     nested per lock);
+//   - a thread executes no events before it is forked (other than thread 0)
+//     and none after it is joined;
+//   - fork and join targets are valid and forked/joined at most once;
+//   - all ids are within the trace's declared id spaces.
+//
+// It returns nil if the trace is well formed.
+func Check(tr *Trace) error {
+	lockHolder := make([]int32, tr.Locks) // -1 = free
+	for i := range lockHolder {
+		lockHolder[i] = -1
+	}
+	// Threads that are never the target of a fork are treated as existing
+	// from the start of the trace (the paper's example traces have no fork
+	// events); fork targets must not run before their fork.
+	started := make([]bool, tr.Threads)
+	for i := range started {
+		started[i] = true
+	}
+	for _, e := range tr.Events {
+		if e.Op == OpFork && int(e.Targ) < tr.Threads {
+			started[e.Targ] = false
+		}
+	}
+	ended := make([]bool, tr.Threads)
+	seen := make([]bool, tr.Threads)
+	held := make([]int, tr.Threads)
+
+	fail := func(i int, e Event, f string, args ...any) error {
+		return &CheckError{Index: i, Event: e, Msg: fmt.Sprintf(f, args...)}
+	}
+
+	for i, e := range tr.Events {
+		if int(e.T) >= tr.Threads {
+			return fail(i, e, "thread id out of range (Threads=%d)", tr.Threads)
+		}
+		if !started[e.T] {
+			return fail(i, e, "thread ran before being forked")
+		}
+		if ended[e.T] {
+			return fail(i, e, "thread ran after being joined")
+		}
+		seen[e.T] = true
+		switch e.Op {
+		case OpRead, OpWrite:
+			if int(e.Targ) >= tr.Vars {
+				return fail(i, e, "variable id out of range (Vars=%d)", tr.Vars)
+			}
+		case OpAcquire:
+			if int(e.Targ) >= tr.Locks {
+				return fail(i, e, "lock id out of range (Locks=%d)", tr.Locks)
+			}
+			if h := lockHolder[e.Targ]; h >= 0 {
+				if h == int32(e.T) {
+					return fail(i, e, "reentrant acquire (lock already held by this thread)")
+				}
+				return fail(i, e, "lock already held by T%d", h)
+			}
+			lockHolder[e.Targ] = int32(e.T)
+			held[e.T]++
+		case OpRelease:
+			if int(e.Targ) >= tr.Locks {
+				return fail(i, e, "lock id out of range (Locks=%d)", tr.Locks)
+			}
+			if lockHolder[e.Targ] != int32(e.T) {
+				return fail(i, e, "release of lock not held by this thread")
+			}
+			lockHolder[e.Targ] = -1
+			held[e.T]--
+		case OpFork:
+			ct := Tid(e.Targ)
+			if int(ct) >= tr.Threads {
+				return fail(i, e, "forked thread id out of range")
+			}
+			if ct == e.T {
+				return fail(i, e, "thread forks itself")
+			}
+			if started[ct] {
+				return fail(i, e, "thread T%d forked twice (or is main)", ct)
+			}
+			started[ct] = true
+		case OpJoin:
+			ct := Tid(e.Targ)
+			if int(ct) >= tr.Threads {
+				return fail(i, e, "joined thread id out of range")
+			}
+			if !started[ct] {
+				return fail(i, e, "join of never-forked thread T%d", ct)
+			}
+			if ended[ct] {
+				return fail(i, e, "thread T%d joined twice", ct)
+			}
+			ended[ct] = true
+		case OpVolatileRead, OpVolatileWrite:
+			if int(e.Targ) >= tr.Volatiles {
+				return fail(i, e, "volatile id out of range (Volatiles=%d)", tr.Volatiles)
+			}
+		case OpClassInit, OpClassAccess:
+			if int(e.Targ) >= tr.Classes {
+				return fail(i, e, "class id out of range (Classes=%d)", tr.Classes)
+			}
+		default:
+			return fail(i, e, "unknown op")
+		}
+	}
+	return nil
+}
+
+// MustCheck panics if tr is not well formed; intended for tests and for the
+// workload generators, whose output is well formed by construction.
+func MustCheck(tr *Trace) *Trace {
+	if err := Check(tr); err != nil {
+		panic(err)
+	}
+	return tr
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format:
+//
+//	magic "STRK" | version u32 | threads,vars,locks,volatiles,classes u32 |
+//	nevents u64 | events (tid u16, op u8, pad u8, targ u32, loc u32)...
+//
+// The format is deliberately simple and fixed-width: traces are bulk data
+// written once by cmd/tracegen and replayed many times by the benchmarks.
+const (
+	binMagic   = "STRK"
+	binVersion = 1
+	recSize    = 12
+)
+
+// WriteBinary streams tr to w in the binary format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4*6+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(tr.Threads))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(tr.Vars))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(tr.Locks))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(tr.Volatiles))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(tr.Classes))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(tr.Events)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, recSize)
+	for _, e := range tr.Events {
+		binary.LittleEndian.PutUint16(rec[0:], uint16(e.T))
+		rec[2] = uint8(e.Op)
+		rec[3] = 0
+		binary.LittleEndian.PutUint32(rec[4:], e.Targ)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(e.Loc))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace in the binary format.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4*6+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	tr := &Trace{
+		Threads:   int(binary.LittleEndian.Uint32(hdr[4:])),
+		Vars:      int(binary.LittleEndian.Uint32(hdr[8:])),
+		Locks:     int(binary.LittleEndian.Uint32(hdr[12:])),
+		Volatiles: int(binary.LittleEndian.Uint32(hdr[16:])),
+		Classes:   int(binary.LittleEndian.Uint32(hdr[20:])),
+	}
+	n := binary.LittleEndian.Uint64(hdr[24:])
+	const maxEvents = 1 << 32
+	if n > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	}
+	tr.Events = make([]Event, n)
+	rec := make([]byte, recSize)
+	for i := range tr.Events {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		tr.Events[i] = Event{
+			T:    Tid(binary.LittleEndian.Uint16(rec[0:])),
+			Op:   Op(rec[2]),
+			Targ: binary.LittleEndian.Uint32(rec[4:]),
+			Loc:  Loc(binary.LittleEndian.Uint32(rec[8:])),
+		}
+		if tr.Events[i].Op >= numOps {
+			return nil, fmt.Errorf("trace: event %d has invalid op %d", i, rec[2])
+		}
+	}
+	return tr, nil
+}
+
+// WriteText writes a line-oriented human-readable form:
+//
+//	# threads=2 vars=1 locks=1 volatiles=0 classes=0
+//	0 rd 0 1
+//	1 acq 0 0
+//
+// (tid, op mnemonic, target, loc per line).
+func WriteText(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# threads=%d vars=%d locks=%d volatiles=%d classes=%d\n",
+		tr.Threads, tr.Vars, tr.Locks, tr.Volatiles, tr.Classes)
+	for _, e := range tr.Events {
+		fmt.Fprintf(bw, "%d %s %d %d\n", e.T, e.Op, e.Targ, e.Loc)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the line-oriented form produced by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	tr := &Trace{}
+	if _, err := fmt.Sscanf(sc.Text(), "# threads=%d vars=%d locks=%d volatiles=%d classes=%d",
+		&tr.Threads, &tr.Vars, &tr.Locks, &tr.Volatiles, &tr.Classes); err != nil {
+		return nil, fmt.Errorf("trace: bad header %q: %w", sc.Text(), err)
+	}
+	opByName := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		opByName[op.String()] = op
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		var tid int
+		var opName string
+		var targ uint32
+		var loc uint32
+		if _, err := fmt.Sscanf(txt, "%d %s %d %d", &tid, &opName, &targ, &loc); err != nil {
+			return nil, fmt.Errorf("trace: line %d %q: %w", line, txt, err)
+		}
+		op, ok := opByName[opName]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, opName)
+		}
+		tr.Events = append(tr.Events, Event{T: Tid(tid), Op: op, Targ: targ, Loc: Loc(loc)})
+	}
+	return tr, sc.Err()
+}

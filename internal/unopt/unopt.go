@@ -1,0 +1,336 @@
+// Package unopt implements the paper's unoptimized vector-clock analyses:
+// classic HB analysis and Algorithm 1's WCP, DC, and WDC analyses, with an
+// optional constraint-graph hook (the "Unopt w/G" configurations).
+//
+// Last-access metadata (Rx, Wx) are full vector clocks storing each
+// thread's local clock at its last read/write; rule (a) and rule (b) use
+// the machinery in package ccs. Per §5.1, the implementations perform a
+// [Shared Same Epoch]-like check at reads and writes and increment the
+// thread's clock at acquires as well as releases.
+package unopt
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ccs"
+	"repro/internal/graph"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// HBAnalysis is classic vector-clock happens-before analysis.
+type HBAnalysis struct {
+	s      *analysis.SyncState
+	rx, wx []*vc.VC
+	col    *report.Collector
+	idx    int32
+}
+
+// NewHB builds an unoptimized HB analysis for tr's id spaces.
+func NewHB(tr *trace.Trace) *HBAnalysis {
+	return &HBAnalysis{
+		s:   analysis.NewSyncState(analysis.HB, tr),
+		rx:  make([]*vc.VC, tr.Vars),
+		wx:  make([]*vc.VC, tr.Vars),
+		col: report.NewCollector(),
+	}
+}
+
+// Name implements analysis.Analysis.
+func (a *HBAnalysis) Name() string { return "Unopt-HB" }
+
+// Races implements analysis.Analysis.
+func (a *HBAnalysis) Races() *report.Collector { return a.col }
+
+// Handle implements analysis.Analysis.
+func (a *HBAnalysis) Handle(e trace.Event) {
+	idx := a.idx
+	a.idx++
+	t := e.T
+	switch e.Op {
+	case trace.OpRead:
+		a.read(t, e.Targ, e.Loc, idx)
+	case trace.OpWrite:
+		a.write(t, e.Targ, e.Loc, idx)
+	case trace.OpAcquire:
+		a.s.PreAcquire(t, e.Targ)
+		a.s.PostAcquire(t, e.Targ)
+	case trace.OpRelease:
+		a.s.PostRelease(t, e.Targ)
+	default:
+		a.s.HandleOther(e, idx)
+	}
+}
+
+func (a *HBAnalysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	p := a.s.P[t]
+	c := p.Get(vc.Tid(t))
+	rx := a.rx[x]
+	if rx != nil && rx.Get(vc.Tid(t)) == c {
+		return // t already read x in this epoch
+	}
+	if wx := a.wx[x]; wx != nil && !wx.Leq(p) {
+		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: false, Index: int(idx), PriorTid: culprit(wx, p)})
+	}
+	if rx == nil {
+		rx = vc.New(0)
+		a.rx[x] = rx
+	}
+	rx.Set(vc.Tid(t), c)
+}
+
+func (a *HBAnalysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	p := a.s.P[t]
+	c := p.Get(vc.Tid(t))
+	wx := a.wx[x]
+	if wx != nil && wx.Get(vc.Tid(t)) == c {
+		return // t already wrote x in this epoch
+	}
+	raced := false
+	var prior trace.Tid = report.UnknownTid
+	if wx != nil && !wx.Leq(p) {
+		raced = true
+		prior = culprit(wx, p)
+	}
+	if rx := a.rx[x]; rx != nil && !rx.Leq(p) {
+		if !raced {
+			prior = culprit(rx, p)
+		}
+		raced = true
+	}
+	if raced {
+		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: true, Index: int(idx), PriorTid: prior})
+	}
+	if wx == nil {
+		wx = vc.New(0)
+		a.wx[x] = wx
+	}
+	wx.Set(vc.Tid(t), c)
+}
+
+// MetadataWeight implements analysis.Analysis.
+func (a *HBAnalysis) MetadataWeight() int {
+	w := a.s.Weight()
+	for _, v := range a.rx {
+		if v != nil {
+			w += v.Weight() + 3
+		}
+	}
+	for _, v := range a.wx {
+		if v != nil {
+			w += v.Weight() + 3
+		}
+	}
+	return w
+}
+
+// culprit returns the thread of some component of x not ordered before p,
+// for race-report diagnostics.
+func culprit(x, p *vc.VC) trace.Tid {
+	for u := 0; u < x.Len(); u++ {
+		if x.Get(vc.Tid(u)) > p.Get(vc.Tid(u)) {
+			return trace.Tid(u)
+		}
+	}
+	return report.UnknownTid
+}
+
+// Predictive is Algorithm 1: unoptimized vector-clock WCP, DC, or WDC
+// analysis. WDC omits rule (b) (§3); WCP composes with HB (§2.4).
+type Predictive struct {
+	rel analysis.Relation
+	s   *analysis.SyncState
+	lt  *ccs.LockTables
+	rb  *ccs.RuleB // nil for WDC
+	col *report.Collector
+
+	rx, wx []*vc.VC
+
+	g         *graph.Graph
+	lastWrIdx []int32
+	idx       int32
+}
+
+// NewPredictive builds an unoptimized predictive analysis for relation rel
+// (WCP, DC, or WDC). If buildGraph is set, the analysis also constructs the
+// event constraint graph used by vindication (the "w/G" configurations).
+func NewPredictive(rel analysis.Relation, tr *trace.Trace, buildGraph bool) *Predictive {
+	if rel == analysis.HB {
+		panic("unopt: use NewHB for HB analysis")
+	}
+	a := &Predictive{
+		rel: rel,
+		s:   analysis.NewSyncState(rel, tr),
+		lt:  ccs.NewLockTables(tr, false),
+		col: report.NewCollector(),
+		rx:  make([]*vc.VC, tr.Vars),
+		wx:  make([]*vc.VC, tr.Vars),
+	}
+	if rel != analysis.WDC {
+		a.rb = ccs.NewRuleB(rel, tr, false)
+	}
+	if buildGraph {
+		a.g = graph.New(tr.Len())
+		a.s.SetHook(a.g, tr)
+		a.lastWrIdx = make([]int32, tr.Vars)
+		for i := range a.lastWrIdx {
+			a.lastWrIdx[i] = -1
+		}
+	}
+	return a
+}
+
+// Name implements analysis.Analysis.
+func (a *Predictive) Name() string {
+	if a.g != nil {
+		return fmt.Sprintf("Unopt-%s w/G", a.rel)
+	}
+	return fmt.Sprintf("Unopt-%s", a.rel)
+}
+
+// Races implements analysis.Analysis.
+func (a *Predictive) Races() *report.Collector { return a.col }
+
+// Graph returns the constraint graph, or nil if not built.
+func (a *Predictive) Graph() *graph.Graph { return a.g }
+
+func (a *Predictive) hook() analysis.Hook {
+	if a.g == nil {
+		return nil
+	}
+	return a.g
+}
+
+// Handle implements analysis.Analysis.
+func (a *Predictive) Handle(e trace.Event) {
+	idx := a.idx
+	a.idx++
+	t := e.T
+	a.s.OnEvent(t, idx)
+	switch e.Op {
+	case trace.OpRead:
+		a.read(t, e.Targ, e.Loc, idx)
+	case trace.OpWrite:
+		a.write(t, e.Targ, e.Loc, idx)
+	case trace.OpAcquire:
+		a.s.PreAcquire(t, e.Targ) // HB edges for WCP; no-op for DC/WDC
+		if a.rb != nil {
+			a.rb.Acquire(t, e.Targ, a.s.P[t])
+		}
+		a.s.PostAcquire(t, e.Targ)
+	case trace.OpRelease:
+		if a.rb != nil {
+			a.rb.Release(t, e.Targ, a.s, idx, a.hook())
+		}
+		a.lt.Release(t, e.Targ, a.releaseTime(t), idx)
+		a.s.PostRelease(t, e.Targ)
+	default:
+		a.s.HandleOther(e, idx)
+	}
+}
+
+// releaseTime is the clock stored into rule (a) tables at a release: the HB
+// clock for WCP (so that joins left-compose WCP edges with HB), the
+// relation clock itself for DC and WDC.
+func (a *Predictive) releaseTime(t trace.Tid) *vc.VC {
+	if a.rel == analysis.WCP {
+		return a.s.H[t]
+	}
+	return a.s.P[t]
+}
+
+func (a *Predictive) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	p := a.s.P[t]
+	c := p.Get(vc.Tid(t))
+	rx := a.rx[x]
+	if rx != nil && rx.Get(vc.Tid(t)) == c {
+		return
+	}
+	for _, m := range a.s.Held(t) {
+		a.lt.ReadJoin(t, m, x, a.s, idx, a.hook())
+	}
+	if wx := a.wx[x]; wx != nil {
+		if a.g != nil {
+			a.g.Edge(a.lastWrIdx[x], idx) // last-writer hard edge
+		}
+		if !wx.Leq(p) {
+			a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: false, Index: int(idx), PriorTid: culprit(wx, p)})
+		}
+	}
+	if rx == nil {
+		rx = vc.New(0)
+		a.rx[x] = rx
+	}
+	rx.Set(vc.Tid(t), c)
+}
+
+func (a *Predictive) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
+	p := a.s.P[t]
+	c := p.Get(vc.Tid(t))
+	wx := a.wx[x]
+	if wx != nil && wx.Get(vc.Tid(t)) == c {
+		return
+	}
+	for _, m := range a.s.Held(t) {
+		a.lt.WriteJoin(t, m, x, a.s, idx, a.hook())
+	}
+	raced := false
+	var prior trace.Tid = report.UnknownTid
+	if wx != nil && !wx.Leq(p) {
+		raced = true
+		prior = culprit(wx, p)
+	}
+	if rx := a.rx[x]; rx != nil && !rx.Leq(p) {
+		if !raced {
+			prior = culprit(rx, p)
+		}
+		raced = true
+	}
+	if raced {
+		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: true, Index: int(idx), PriorTid: prior})
+	}
+	if wx == nil {
+		wx = vc.New(0)
+		a.wx[x] = wx
+	}
+	wx.Set(vc.Tid(t), c)
+	if a.g != nil {
+		a.lastWrIdx[x] = idx
+	}
+}
+
+// MetadataWeight implements analysis.Analysis.
+func (a *Predictive) MetadataWeight() int {
+	w := a.s.Weight() + a.lt.Weight()
+	if a.rb != nil {
+		w += a.rb.Weight()
+	}
+	for _, v := range a.rx {
+		if v != nil {
+			w += v.Weight() + 3
+		}
+	}
+	for _, v := range a.wx {
+		if v != nil {
+			w += v.Weight() + 3
+		}
+	}
+	if a.g != nil {
+		w += a.g.Weight()
+	}
+	return w
+}
+
+func init() {
+	analysis.Register(analysis.HB, analysis.Unopt, "Unopt-HB",
+		func(tr *trace.Trace) analysis.Analysis { return NewHB(tr) })
+	for _, rel := range []analysis.Relation{analysis.WCP, analysis.DC, analysis.WDC} {
+		rel := rel
+		analysis.Register(rel, analysis.Unopt, "Unopt-"+rel.String(),
+			func(tr *trace.Trace) analysis.Analysis { return NewPredictive(rel, tr, false) })
+		analysis.Register(rel, analysis.UnoptG, "Unopt-"+rel.String()+" w/G",
+			func(tr *trace.Trace) analysis.Analysis { return NewPredictive(rel, tr, true) })
+	}
+}

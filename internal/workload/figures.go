@@ -1,0 +1,191 @@
+// Package workload provides the executions the evaluation runs on: the
+// paper's example figures transcribed as traces, microbenchmark race
+// patterns, and DaCapo-calibrated synthetic program generators (this
+// repository's substitute for RoadRunner + DaCapo; see DESIGN.md §1).
+package workload
+
+import "repro/internal/trace"
+
+// Figure is a paper example execution plus the variable its predictable
+// (or false) race is on and the expected verdict per relation.
+type Figure struct {
+	Name  string
+	Trace *trace.Trace
+	// RaceVar is the id of variable "x", the race candidate.
+	RaceVar uint32
+	// RaceBy maps each relation name (HB, WCP, DC, WDC) to whether the
+	// analysis should report a race on RaceVar.
+	RaceBy map[string]bool
+	// Predictable reports whether the trace has a true predictable race
+	// (vindication of a reported race should succeed iff true).
+	Predictable bool
+}
+
+// Figure1 is the paper's Figure 1(a): no HB-race, but a predictable race on
+// x exposed by reordering — the critical sections on m do not conflict, so
+// none of WCP, DC, WDC order rd(x) before wr(x).
+func Figure1() Figure {
+	b := trace.NewBuilder()
+	b.Read("T1", "x").
+		Acq("T1", "m").Write("T1", "y").Rel("T1", "m").
+		Acq("T2", "m").Read("T2", "z").Rel("T2", "m").
+		Write("T2", "x")
+	return Figure{
+		Name:        "figure1",
+		Trace:       trace.MustCheck(b.Build()),
+		RaceVar:     b.VarID("x"),
+		RaceBy:      map[string]bool{"HB": false, "WCP": true, "DC": true, "WDC": true},
+		Predictable: true,
+	}
+}
+
+// Figure2 is Figure 2(a): a DC-race (and WDC-race) that is not a WCP-race,
+// because WCP composes with HB across the critical sections on n while DC
+// composes only with program order. The race on x is predictable.
+func Figure2() Figure {
+	b := trace.NewBuilder()
+	b.Read("T1", "x").
+		Acq("T1", "m").Write("T1", "y").Rel("T1", "m").
+		Acq("T2", "m").Read("T2", "y").Rel("T2", "m").
+		Acq("T2", "n").Rel("T2", "n").
+		Acq("T3", "n").Rel("T3", "n").
+		Write("T3", "x")
+	return Figure{
+		Name:        "figure2",
+		Trace:       trace.MustCheck(b.Build()),
+		RaceVar:     b.VarID("x"),
+		RaceBy:      map[string]bool{"HB": false, "WCP": false, "DC": true, "WDC": true},
+		Predictable: true,
+	}
+}
+
+// Figure3 is Figure 3: a WDC-race on x that is *not* a predictable race.
+// DC rule (b) orders rel(m) by T1 before rel(m) by T3, because acq(m) by T1
+// is DC-ordered to T3's release through the sync(o); sync(p) chain — so DC
+// (and WCP and HB) report no race, while WDC, which omits rule (b), reports
+// one. Vindication must reject it.
+//
+//	T1: acq(m) sync(o) rd(x) rel(m)
+//	T2:                             sync(o) sync(p)
+//	T3:                                             acq(m) sync(p) rel(m) wr(x)
+func Figure3() Figure {
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").Sync("T1", "o").Read("T1", "x").Rel("T1", "m")
+	b.Sync("T2", "o").Sync("T2", "p")
+	b.Acq("T3", "m").Sync("T3", "p").Rel("T3", "m").Write("T3", "x")
+	return Figure{
+		Name:        "figure3",
+		Trace:       trace.MustCheck(b.Build()),
+		RaceVar:     b.VarID("x"),
+		RaceBy:      map[string]bool{"HB": false, "WCP": false, "DC": false, "WDC": true},
+		Predictable: false,
+	}
+}
+
+// Figure4A is Figure 4(a), the execution the paper uses to walk through
+// SmartTrack's CS lists and MultiCheck. Every pair of conflicting accesses
+// to x ends up ordered: T1's wr(x) before T2's rd(x) by the conflicting
+// critical sections on m, T1's wr(x) before T3's wr(x) by the conflicting
+// critical sections on p, and T2's rd(x) before T3's wr(x) through sync(o).
+// SmartTrack must take [Read Share] at T2's rd(x) (the outermost critical
+// section on p is still unreleased) yet report no race.
+//
+//	T1: acq(p) acq(m) acq(n) wr(x) rel(n) rel(m)        rel(p)
+//	T2:                                    acq(m) rd(x) rel(m) sync(o)
+//	T3:                                                   sync(o) acq(p) wr(x) rel(p)
+func Figure4A() Figure {
+	b := trace.NewBuilder()
+	b.Acq("T1", "p").Acq("T1", "m").Acq("T1", "n").
+		Write("T1", "x").
+		Rel("T1", "n").Rel("T1", "m")
+	b.Acq("T2", "m").Read("T2", "x")
+	b.Rel("T1", "p")
+	b.Rel("T2", "m").Sync("T2", "o")
+	b.Sync("T3", "o")
+	b.Acq("T3", "p").Write("T3", "x").Rel("T3", "p")
+	return Figure{
+		Name:        "figure4a",
+		Trace:       trace.MustCheck(b.Build()),
+		RaceVar:     b.VarID("x"),
+		RaceBy:      map[string]bool{"HB": false, "WCP": false, "DC": false, "WDC": false},
+		Predictable: false,
+	}
+}
+
+// Figure4B is Figure 4(b): the execution motivating SmartTrack's [Read
+// Share] behaviour where FTO would take [Read Exclusive]. T2's rd(x) is
+// ordered after T1's rd(x) (via sync(o)), but T1's critical section on m is
+// still open; discarding T1's CS list at T2's read would lose the
+// conflicting-critical-section edge from T1's rel(m) to T3's wr(x). The
+// trace has no race under any relation.
+//
+//	T1: acq(m) rd(x) sync(o)                        rel(m)
+//	T2:               sync(o) rd(x) sync(p)
+//	T3:                                      sync(p)        acq(m) wr(x) rel(m)
+func Figure4B() Figure {
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").Read("T1", "x").Sync("T1", "o")
+	b.Sync("T2", "o").Read("T2", "x").Sync("T2", "p")
+	b.Rel("T1", "m")
+	b.Sync("T3", "p")
+	b.Acq("T3", "m").Write("T3", "x").Rel("T3", "m")
+	return Figure{
+		Name:        "figure4b",
+		Trace:       trace.MustCheck(b.Build()),
+		RaceVar:     b.VarID("x"),
+		RaceBy:      map[string]bool{"HB": false, "WCP": false, "DC": false, "WDC": false},
+		Predictable: false,
+	}
+}
+
+// Figure4C is Figure 4(c): the execution motivating the "extra" metadata
+// Ew_x. T2's ordered wr(x) overwrites Lw_x/Lr_x with its own (empty) CS
+// list, losing T1's critical section on m containing wr(x); the residual
+// must survive in Ew_x so that T3's rd(x) inside a critical section on m
+// re-establishes the conflicting-critical-section ordering. No races.
+//
+//	T1: acq(m) wr(x) sync(o)                        rel(m)
+//	T2:               sync(o) wr(x) sync(p)
+//	T3:                                      sync(p)        acq(m) rd(x) rel(m)
+func Figure4C() Figure {
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").Write("T1", "x").Sync("T1", "o")
+	b.Sync("T2", "o").Write("T2", "x").Sync("T2", "p")
+	b.Rel("T1", "m")
+	b.Sync("T3", "p")
+	b.Acq("T3", "m").Read("T3", "x").Rel("T3", "m")
+	return Figure{
+		Name:        "figure4c",
+		Trace:       trace.MustCheck(b.Build()),
+		RaceVar:     b.VarID("x"),
+		RaceBy:      map[string]bool{"HB": false, "WCP": false, "DC": false, "WDC": false},
+		Predictable: false,
+	}
+}
+
+// Figure4D is Figure 4(d): like 4(c) but the lost critical section contains
+// a read, exercising the Er_x path at T3's wr(x). No races.
+//
+//	T1: acq(m) rd(x) sync(o)                        rel(m)
+//	T2:               sync(o) wr(x) sync(p)
+//	T3:                                      sync(p)        acq(m) wr(x) rel(m)
+func Figure4D() Figure {
+	b := trace.NewBuilder()
+	b.Acq("T1", "m").Read("T1", "x").Sync("T1", "o")
+	b.Sync("T2", "o").Write("T2", "x").Sync("T2", "p")
+	b.Rel("T1", "m")
+	b.Sync("T3", "p")
+	b.Acq("T3", "m").Write("T3", "x").Rel("T3", "m")
+	return Figure{
+		Name:        "figure4d",
+		Trace:       trace.MustCheck(b.Build()),
+		RaceVar:     b.VarID("x"),
+		RaceBy:      map[string]bool{"HB": false, "WCP": false, "DC": false, "WDC": false},
+		Predictable: false,
+	}
+}
+
+// Figures returns all paper example executions.
+func Figures() []Figure {
+	return []Figure{Figure1(), Figure2(), Figure3(), Figure4A(), Figure4B(), Figure4C(), Figure4D()}
+}

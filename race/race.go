@@ -1,0 +1,224 @@
+// Package race is the public API of this repository's reproduction of
+// "SmartTrack: Efficient Predictive Race Detection" (Roemer, Genç & Bond,
+// PLDI 2020).
+//
+// It exposes the full family of dynamic race detection analyses the paper
+// evaluates — happens-before (FastTrack2, FTO-HB) and the predictive
+// relations WCP, DC, and WDC at three optimization levels (unoptimized
+// vector clocks, FTO epoch/ownership, and SmartTrack's conflicting-
+// critical-section optimizations) — over execution traces, plus:
+//
+//   - a Builder for constructing traces programmatically,
+//   - trace file I/O (binary and text),
+//   - a Runtime for recording events from live Go programs and analyzing
+//     them afterwards, and
+//   - vindication, which proves a reported race is a true predictable race
+//     by constructing a verified witness reordering.
+//
+// Quick start:
+//
+//	b := race.NewBuilder()
+//	b.Read("T1", "x")
+//	b.Acq("T1", "m").Write("T1", "y").Rel("T1", "m")
+//	b.Acq("T2", "m").Read("T2", "z").Rel("T2", "m")
+//	b.Write("T2", "x")
+//	report := race.Analyze(b.Build(), race.WDC, race.SmartTrack)
+//	fmt.Println(report.Dynamic()) // 1 — the predictable race HB misses
+package race
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/unopt"
+	"repro/internal/vindicate"
+
+	// Register all analyses with the registry.
+	_ "repro/internal/core"
+	_ "repro/internal/ft"
+	_ "repro/internal/fto"
+)
+
+// Trace is a totally ordered multithreaded execution trace.
+type Trace = trace.Trace
+
+// Event is one trace entry.
+type Event = trace.Event
+
+// Builder constructs traces from named threads, variables, and locks.
+type Builder = trace.Builder
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder { return trace.NewBuilder() }
+
+// CheckTrace verifies trace well-formedness (locking discipline, fork/join
+// lifecycle, id ranges).
+func CheckTrace(tr *Trace) error { return trace.Check(tr) }
+
+// Relation selects the partial order an analysis tracks.
+type Relation = analysis.Relation
+
+// The four relations of the paper's Table 1, strongest (fewest races
+// predicted) first.
+const (
+	// HB is classic happens-before: sound but non-predictive.
+	HB = analysis.HB
+	// WCP is weak-causally-precedes (Kini et al. 2017): predictive, sound.
+	WCP = analysis.WCP
+	// DC is doesn't-commute (Roemer et al. 2018): predictive, weaker than
+	// WCP; rarely reports false races, which vindication can rule out.
+	DC = analysis.DC
+	// WDC is the paper's new weak-doesn't-commute relation: DC without
+	// rule (b), cheaper still; pair with vindication for soundness.
+	WDC = analysis.WDC
+)
+
+// Level selects the optimization level (the paper's Table 1 columns).
+type Level = analysis.Level
+
+const (
+	// Unopt is the vector-clock algorithm (Algorithm 1).
+	Unopt = analysis.Unopt
+	// UnoptG additionally builds the constraint graph for vindication.
+	UnoptG = analysis.UnoptG
+	// FT2 is FastTrack2 (HB only).
+	FT2 = analysis.FT2
+	// FTO applies epoch and ownership optimizations (Algorithm 2).
+	FTO = analysis.FTO
+	// SmartTrack adds conflicting-critical-section optimizations
+	// (Algorithm 3) — the paper's contribution and the recommended level.
+	SmartTrack = analysis.SmartTrack
+)
+
+// Detector is a streaming race detection analysis.
+type Detector = analysis.Analysis
+
+// New builds a detector for the given relation and optimization level,
+// sized for the trace's id spaces. It returns an error for the Table 1
+// cells the paper marks N/A (e.g. SmartTrack-HB).
+func New(tr *Trace, rel Relation, lvl Level) (Detector, error) {
+	e, ok := analysis.Lookup(rel, lvl)
+	if !ok {
+		return nil, fmt.Errorf("race: no %v analysis at level %v (N/A in Table 1)", rel, lvl)
+	}
+	return e.New(tr), nil
+}
+
+// Analyze runs the (rel, lvl) analysis over the whole trace and returns its
+// report. It panics only on invalid (rel, lvl) combinations; use New for
+// error handling.
+func Analyze(tr *Trace, rel Relation, lvl Level) *Report {
+	d, err := New(tr, rel, lvl)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range tr.Events {
+		d.Handle(e)
+	}
+	return &Report{col: d.Races(), tr: tr}
+}
+
+// Detectors lists the names of all available analyses.
+func Detectors() []string {
+	var out []string
+	for _, e := range analysis.All() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// AnalyzeByName runs a registered analysis by display name (e.g. "ST-DC").
+func AnalyzeByName(tr *Trace, name string) (*Report, error) {
+	e, ok := analysis.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("race: unknown analysis %q (see Detectors())", name)
+	}
+	a := e.New(tr)
+	for _, ev := range tr.Events {
+		a.Handle(ev)
+	}
+	return &Report{col: a.Races(), tr: tr}, nil
+}
+
+// RaceInfo describes one detected dynamic race.
+type RaceInfo struct {
+	// Var is the racing variable's id.
+	Var uint32
+	// Loc is the static program location of the detecting access.
+	Loc uint32
+	// Index is the trace index of the detecting access.
+	Index int
+	// Write reports whether the detecting access is a write.
+	Write bool
+}
+
+// Report summarizes an analysis run.
+type Report struct {
+	col *report.Collector
+	tr  *Trace
+}
+
+// Dynamic returns the total number of dynamic races detected.
+func (r *Report) Dynamic() int { return r.col.Dynamic() }
+
+// Static returns the number of statically distinct races (program
+// locations), the count the paper's Table 7 reports first.
+func (r *Report) Static() int { return r.col.Static() }
+
+// Races lists all dynamic races in detection order.
+func (r *Report) Races() []RaceInfo {
+	var out []RaceInfo
+	for _, rc := range r.col.Races() {
+		out = append(out, RaceInfo{Var: rc.Var, Loc: uint32(rc.Loc), Index: rc.Index, Write: rc.Write})
+	}
+	return out
+}
+
+// RaceVars returns the racing variables, sorted.
+func (r *Report) RaceVars() []uint32 { return r.col.RaceVars() }
+
+// VindicationResult reports a witness-construction attempt.
+type VindicationResult struct {
+	// Vindicated is true if a verified witness reordering was found —
+	// the race is certainly a true predictable race.
+	Vindicated bool
+	// Witness is the predicted trace ending with the racing pair.
+	Witness []Event
+	// Reason explains failures (the race remains unverified, not refuted).
+	Reason string
+}
+
+// Vindicate checks whether the race detected at trace index (RaceInfo.Index)
+// is a true predictable race, by re-running an unoptimized WDC analysis
+// that builds the event constraint graph and then searching for a verified
+// witness reordering (§4.3 of the paper: a recorded run using SmartTrack
+// can replay under a graph-building analysis to check its races).
+func Vindicate(tr *Trace, raceIndex int) VindicationResult {
+	a := unopt.NewPredictive(analysis.WDC, tr, true)
+	for _, e := range tr.Events {
+		a.Handle(e)
+	}
+	res := vindicate.Race(tr, a.Graph(), raceIndex, vindicate.Options{})
+	return VindicationResult{Vindicated: res.Vindicated, Witness: res.Witness, Reason: res.Reason}
+}
+
+// VerifyWitness independently checks a witness against the predicted-trace
+// rules for the racing pair at original indices e1 < e2.
+func VerifyWitness(tr *Trace, witness []Event, e1, e2 int) error {
+	return vindicate.Verify(tr, witness, e1, e2)
+}
+
+// WriteTrace serializes a trace in the binary format.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.WriteBinary(w, tr) }
+
+// ReadTrace parses a binary trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadBinary(r) }
+
+// WriteTraceText serializes a trace in the human-readable text format.
+func WriteTraceText(w io.Writer, tr *Trace) error { return trace.WriteText(w, tr) }
+
+// ReadTraceText parses a text trace.
+func ReadTraceText(r io.Reader) (*Trace, error) { return trace.ReadText(r) }

@@ -1,0 +1,219 @@
+package race
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Tid identifies a recorded goroutine.
+type Tid = trace.Tid
+
+// Runtime records synchronization and memory-access events from a live Go
+// program — this repository's stand-in for the RoadRunner instrumentation
+// framework. Goroutines report events through a Runtime handle; the
+// recorder linearizes them (the analyses consume the linearization order,
+// exactly as RoadRunner's analyses do), filters reentrant lock
+// acquisitions the way RoadRunner does for Java monitors, and interns
+// arbitrary user keys (pointers, strings) as dense variable/lock ids.
+//
+// Analysis is record-then-analyze: call Snapshot or Analyze after the
+// recorded section completes. §4.3 of the paper argues for exactly this
+// record & replay split for the heavyweight passes; here we use it for all
+// of them, which also keeps recording overhead minimal.
+type Runtime struct {
+	mu     sync.Mutex
+	events []trace.Event
+
+	vars  map[any]uint32
+	locks map[any]uint32
+	vols  map[any]uint32
+	locs  map[uintptr]trace.Loc
+
+	threads   int
+	holdCount []map[uint32]int // reentrancy filtering per thread
+}
+
+// NewRuntime returns a recorder with the main goroutine registered as
+// thread 0.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		vars:      make(map[any]uint32),
+		locks:     make(map[any]uint32),
+		vols:      make(map[any]uint32),
+		locs:      make(map[uintptr]trace.Loc),
+		threads:   1,
+		holdCount: []map[uint32]int{make(map[uint32]int)},
+	}
+}
+
+// Main returns the main goroutine's thread id (0).
+func (rt *Runtime) Main() Tid { return 0 }
+
+func (rt *Runtime) intern(m map[any]uint32, key any) uint32 {
+	id, ok := m[key]
+	if !ok {
+		id = uint32(len(m))
+		m[key] = id
+	}
+	return id
+}
+
+// site interns the caller's program counter as a static location, giving
+// the paper's "statically distinct race" accounting for free.
+func (rt *Runtime) site(skip int) trace.Loc {
+	pc, _, _, ok := runtime.Caller(skip)
+	if !ok {
+		return trace.NoLoc
+	}
+	loc, seen := rt.locs[pc]
+	if !seen {
+		loc = trace.Loc(len(rt.locs) + 1)
+		rt.locs[pc] = loc
+	}
+	return loc
+}
+
+func (rt *Runtime) emit(e trace.Event) {
+	rt.events = append(rt.events, e)
+}
+
+// Go registers a new goroutine forked by parent and returns its thread id.
+// Call it in the parent before starting the goroutine.
+func (rt *Runtime) Go(parent Tid) Tid {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	child := Tid(rt.threads)
+	rt.threads++
+	rt.holdCount = append(rt.holdCount, make(map[uint32]int))
+	rt.emit(trace.Event{T: parent, Op: trace.OpFork, Targ: uint32(child)})
+	return child
+}
+
+// Join records that parent joined (awaited) child.
+func (rt *Runtime) Join(parent, child Tid) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.emit(trace.Event{T: parent, Op: trace.OpJoin, Targ: uint32(child)})
+}
+
+// Read records a read of the variable identified by key.
+func (rt *Runtime) Read(t Tid, key any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.emit(trace.Event{T: t, Op: trace.OpRead, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
+}
+
+// Write records a write of the variable identified by key.
+func (rt *Runtime) Write(t Tid, key any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.emit(trace.Event{T: t, Op: trace.OpWrite, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
+}
+
+// Acquire records a lock acquisition. Reentrant acquisitions are counted
+// and filtered: only the outermost acquisition emits an event.
+func (rt *Runtime) Acquire(t Tid, lock any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m := rt.intern(rt.locks, lock)
+	rt.holdCount[t][m]++
+	if rt.holdCount[t][m] == 1 {
+		rt.emit(trace.Event{T: t, Op: trace.OpAcquire, Targ: m})
+	}
+}
+
+// Release records a lock release; only the outermost release emits.
+func (rt *Runtime) Release(t Tid, lock any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m := rt.intern(rt.locks, lock)
+	if rt.holdCount[t][m] == 0 {
+		panic(fmt.Sprintf("race: thread %d releases lock it does not hold", t))
+	}
+	rt.holdCount[t][m]--
+	if rt.holdCount[t][m] == 0 {
+		rt.emit(trace.Event{T: t, Op: trace.OpRelease, Targ: m})
+	}
+}
+
+// VolatileRead records an atomic/volatile load of key.
+func (rt *Runtime) VolatileRead(t Tid, key any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.emit(trace.Event{T: t, Op: trace.OpVolatileRead, Targ: rt.intern(rt.vols, key)})
+}
+
+// VolatileWrite records an atomic/volatile store of key.
+func (rt *Runtime) VolatileWrite(t Tid, key any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.emit(trace.Event{T: t, Op: trace.OpVolatileWrite, Targ: rt.intern(rt.vols, key)})
+}
+
+// Snapshot returns the recorded trace. The recorder can keep recording;
+// the snapshot is independent.
+func (rt *Runtime) Snapshot() (*Trace, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	tr := &trace.Trace{
+		Events:    append([]trace.Event(nil), rt.events...),
+		Threads:   rt.threads,
+		Vars:      len(rt.vars),
+		Locks:     len(rt.locks),
+		Volatiles: len(rt.vols),
+	}
+	// Open critical sections at snapshot time are legal executions, but we
+	// close them for the trace checker by appending releases in reverse
+	// acquisition order per thread.
+	type openCS struct {
+		t trace.Tid
+		m uint32
+	}
+	var open []openCS
+	owner := make(map[uint32]trace.Tid)
+	for _, e := range tr.Events {
+		switch e.Op {
+		case trace.OpAcquire:
+			owner[e.Targ] = e.T
+		case trace.OpRelease:
+			delete(owner, e.Targ)
+		}
+	}
+	for m, t := range owner {
+		open = append(open, openCS{t, m})
+	}
+	for _, oc := range open {
+		tr.Events = append(tr.Events, trace.Event{T: oc.t, Op: trace.OpRelease, Targ: oc.m})
+	}
+	if err := trace.Check(tr); err != nil {
+		return nil, fmt.Errorf("race: recorded trace is ill-formed: %w", err)
+	}
+	return tr, nil
+}
+
+// Analyze snapshots the recording and runs the (rel, lvl) analysis.
+func (rt *Runtime) Analyze(rel Relation, lvl Level) (*Report, error) {
+	tr, err := rt.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	d, err := New(tr, rel, lvl)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range tr.Events {
+		d.Handle(e)
+	}
+	return &Report{col: d.Races(), tr: tr}, nil
+}
+
+// Locked runs fn while holding the recorded lock — a convenience wrapper
+// pairing Acquire/Release.
+func (rt *Runtime) Locked(t Tid, lock any, fn func()) {
+	rt.Acquire(t, lock)
+	defer rt.Release(t, lock)
+	fn()
+}
