@@ -43,7 +43,7 @@ func BenchmarkAnalysis(b *testing.B) {
 		b.Run(entry.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				a := entry.New(benchTrace)
+				a := entry.NewFor(benchTrace)
 				for _, e := range benchTrace.Events {
 					a.Handle(e)
 				}
@@ -155,7 +155,7 @@ func BenchmarkFigures(b *testing.B) {
 func BenchmarkVindication(b *testing.B) {
 	p, _ := workload.ProgramByName("pmd")
 	tr := p.Generate(80000, 3)
-	a := unopt.NewPredictive(analysis.WDC, tr, true)
+	a := unopt.NewPredictive(analysis.WDC, analysis.SpecOf(tr), true)
 	for _, e := range tr.Events {
 		a.Handle(e)
 	}
@@ -188,7 +188,7 @@ func BenchmarkAblationAcquireQueues(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				a := core.NewWithOptions(analysis.DC, tr, cfg.opts)
+				a := core.NewWithOptions(analysis.DC, analysis.SpecOf(tr), cfg.opts)
 				for _, e := range tr.Events {
 					a.Handle(e)
 				}
@@ -218,8 +218,8 @@ func BenchmarkRuntimeRecording(b *testing.B) {
 func TestAblationEquivalence(t *testing.T) {
 	p, _ := workload.ProgramByName("jython")
 	tr := p.Generate(400000, 5)
-	a := core.New(analysis.DC, tr)
-	v := core.NewWithOptions(analysis.DC, tr, core.Options{VectorAcquireQueues: true})
+	a := core.New(analysis.DC, analysis.SpecOf(tr))
+	v := core.NewWithOptions(analysis.DC, analysis.SpecOf(tr), core.Options{VectorAcquireQueues: true})
 	for _, e := range tr.Events {
 		a.Handle(e)
 		v.Handle(e)

@@ -1,10 +1,15 @@
-// Command racedetect runs a race detection analysis over a trace file and
-// reports the races found, optionally vindicating each one.
+// Command racedetect streams a trace file through the race detection
+// engine and reports the races found, optionally vindicating each one.
+// The trace is never materialized: events flow from the streaming decoder
+// straight into the engine, so memory goes to retained analysis metadata
+// (last-access state, and critical-section logs for the predictive
+// relations) rather than the event list itself. Vindication, which needs
+// the full trace for witness construction, makes the engine retain it.
 //
-// Usage:
+// Several analyses can run over the file in a single pass:
 //
 //	racedetect -analysis ST-DC trace.bin
-//	racedetect -analysis FTO-HB -text trace.txt
+//	racedetect -analysis FTO-HB,ST-WCP,ST-WDC trace.bin
 //	racedetect -analysis ST-WDC -vindicate trace.bin
 //	racedetect -list
 package main
@@ -13,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/race"
@@ -20,23 +26,34 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("analysis", "ST-DC", "analysis to run (see -list)")
+		names     = flag.String("analysis", "ST-DC", "comma-separated analyses to run in one pass (see -list)")
 		text      = flag.Bool("text", false, "input is the text trace format")
 		vind      = flag.Bool("vindicate", false, "attempt to vindicate each statically distinct race")
-		quiet     = flag.Bool("q", false, "print only the summary line")
-		maxReport = flag.Int("max", 20, "maximum dynamic races to print")
+		online    = flag.Bool("online", false, "print races as they are detected (streaming callbacks)")
+		quiet     = flag.Bool("q", false, "print only the summary lines")
+		maxReport = flag.Int("max", 20, "maximum dynamic races to print per analysis")
 		list      = flag.Bool("list", false, "list available analyses")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, n := range race.Detectors() {
-			fmt.Println(n)
+		for _, d := range race.DetectorTable() {
+			tags := []string{}
+			if d.Caps.Predictive {
+				tags = append(tags, "predictive")
+			}
+			if d.Caps.NeedsVindication {
+				tags = append(tags, "needs-vindication")
+			}
+			if d.Caps.BuildsGraph {
+				tags = append(tags, "builds-graph")
+			}
+			fmt.Printf("%-15s %s\n", d.Name, strings.Join(tags, ","))
 		}
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: racedetect [-analysis NAME] [-vindicate] trace-file")
+		fmt.Fprintln(os.Stderr, "usage: racedetect [-analysis NAMES] [-vindicate] trace-file")
 		os.Exit(2)
 	}
 
@@ -45,56 +62,74 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer f.Close()
-	var tr *race.Trace
-	if *text {
-		tr, err = race.ReadTraceText(f)
-	} else {
-		tr, err = race.ReadTrace(f)
+
+	opts := []race.Option{race.WithAnalysisNames(strings.Split(*names, ",")...)}
+	if *vind {
+		opts = append(opts, race.WithVindication())
 	}
+	if *online {
+		opts = append(opts, race.WithOnRace(func(r race.RaceInfo) {
+			kind := "read"
+			if r.Write {
+				kind = "write"
+			}
+			fmt.Printf("online: %s race on var %d at loc %d (event %d, %s)\n",
+				r.Analysis, r.Var, r.Loc, r.Index, kind)
+		}))
+	}
+	eng, err := race.NewEngine(opts...)
 	if err != nil {
-		fatalf("reading trace: %v", err)
-	}
-	if err := race.CheckTrace(tr); err != nil {
-		fatalf("ill-formed trace: %v", err)
+		fatalf("%v", err)
 	}
 
+	var src race.EventSource
+	if *text {
+		src = race.NewTextTraceDecoder(f)
+	} else {
+		src = race.NewTraceDecoder(f)
+	}
 	start := time.Now()
-	rep, err := race.AnalyzeByName(tr, *name)
+	if err := eng.FeedSource(src); err != nil {
+		fatalf("streaming trace: %v", err)
+	}
+	rep, err := eng.Close()
 	if err != nil {
 		fatalf("%v", err)
 	}
 	dur := time.Since(start)
 
-	fmt.Printf("%s: %d events, %d statically distinct races, %d dynamic races (%.2f Mevents/s)\n",
-		*name, tr.Len(), rep.Static(), rep.Dynamic(),
-		float64(tr.Len())/1e6/dur.Seconds())
-	if *quiet {
-		return
-	}
-
-	seen := make(map[uint32]bool)
-	printed := 0
-	for _, r := range rep.Races() {
-		if printed >= *maxReport {
-			fmt.Printf("  ... %d more dynamic races\n", rep.Dynamic()-printed)
-			break
+	// One pass, one throughput: the stream is fed to every analysis
+	// together, so per-analysis throughput is not separable here.
+	fmt.Printf("%d events through %d analyses in one pass (%.2f Mevents/s combined)\n",
+		eng.Fed(), len(rep.Analyses()), float64(eng.Fed())/1e6/dur.Seconds())
+	for _, name := range rep.Analyses() {
+		sub, _ := rep.ByAnalysis(name)
+		fmt.Printf("%s: %d statically distinct races, %d dynamic races\n",
+			name, sub.Static(), sub.Dynamic())
+		if *quiet {
+			continue
 		}
-		kind := "read"
-		if r.Write {
-			kind = "write"
-		}
-		fmt.Printf("  race on var %d at loc %d (event %d, %s)", r.Var, r.Loc, r.Index, kind)
-		if *vind && !seen[r.Loc] {
-			seen[r.Loc] = true
-			res := race.Vindicate(tr, r.Index)
-			if res.Vindicated {
-				fmt.Printf("  [vindicated: witness of %d events]", len(res.Witness))
-			} else {
-				fmt.Printf("  [unverified: %s]", res.Reason)
+		printed := 0
+		for _, r := range sub.Races() {
+			if printed >= *maxReport {
+				fmt.Printf("  ... %d more dynamic races\n", sub.Dynamic()-printed)
+				break
 			}
+			kind := "read"
+			if r.Write {
+				kind = "write"
+			}
+			fmt.Printf("  race on var %d at loc %d (event %d, %s)", r.Var, r.Loc, r.Index, kind)
+			if res, ok := sub.Vindication(r.Index); ok {
+				if res.Vindicated {
+					fmt.Printf("  [vindicated: witness of %d events]", len(res.Witness))
+				} else {
+					fmt.Printf("  [unverified: %s]", res.Reason)
+				}
+			}
+			fmt.Println()
+			printed++
 		}
-		fmt.Println()
-		printed++
 	}
 }
 

@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/race"
 )
 
 func main() {
@@ -40,7 +40,7 @@ func main() {
 		return
 	}
 
-	var tr *trace.Trace
+	var tr *race.Trace
 	switch {
 	case *program != "":
 		p, ok := workload.ProgramByName(*program)
@@ -74,9 +74,19 @@ func main() {
 	}
 	var err error
 	if *text {
-		err = trace.WriteText(w, tr)
+		err = race.WriteTraceText(w, tr)
 	} else {
-		err = trace.WriteBinary(w, tr)
+		// Stream through the encoder — the same path a live producer that
+		// never holds the whole trace would use.
+		enc := race.NewTraceEncoder(w, race.HintsOf(tr))
+		for _, e := range tr.Events {
+			if err = enc.Encode(e); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = enc.Close()
+		}
 	}
 	if err != nil {
 		fatalf("writing trace: %v", err)

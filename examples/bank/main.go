@@ -88,7 +88,10 @@ func main() {
 		log.Fatal(err)
 	}
 	r := st.Races()[0]
-	res := race.Vindicate(tr, r.Index)
+	res, err := race.Vindicate(tr, r.Index)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Vindicated {
 		log.Fatalf("vindication failed: %s", res.Reason)
 	}

@@ -1,9 +1,12 @@
 // Pipeline: a fork/join worker pool with a volatile (atomic) stop flag,
-// instrumented with race.Runtime. The work-item hand-offs are properly
-// synchronized and stay silent under every analysis; a results counter
-// that workers bump without a lock races, and the predictive analyses
-// attribute it even though the observed schedule never ran the increments
-// back-to-back.
+// instrumented with race.Runtime and analyzed ONLINE: a streaming Engine
+// attached to the Runtime consumes events as the program executes —
+// record-and-analyze in one pass, the way the paper's analyses run inside
+// RoadRunner — with four analyses fanned out over the single stream. The
+// work-item hand-offs are properly synchronized and stay silent under
+// every analysis; a results counter that workers bump without a lock
+// races, and every analysis flags it online, while the pool is still
+// processing items.
 //
 //	go run ./examples/pipeline
 package main
@@ -20,7 +23,22 @@ import (
 const workers = 3
 
 func main() {
-	rt := race.NewRuntime()
+	eng, err := race.NewEngine(
+		race.WithAnalyses(
+			race.Cell{Relation: race.HB, Level: race.FTO},
+			race.Cell{Relation: race.WCP, Level: race.SmartTrack},
+			race.Cell{Relation: race.DC, Level: race.SmartTrack},
+			race.Cell{Relation: race.WDC, Level: race.SmartTrack},
+		),
+		race.WithOnRace(func(r race.RaceInfo) {
+			fmt.Printf("online: %s flags var %d while the pipeline is still running\n",
+				r.Analysis, r.Var)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := race.NewRuntime(race.WithEngineAttached(eng))
 	main := rt.Main()
 
 	var (
@@ -86,22 +104,16 @@ func main() {
 		resultMu.Unlock()
 	})
 
-	for _, cfg := range []struct {
-		name string
-		rel  race.Relation
-		lvl  race.Level
-	}{
-		{"FTO-HB", race.HB, race.FTO},
-		{"ST-WCP", race.WCP, race.SmartTrack},
-		{"ST-DC", race.DC, race.SmartTrack},
-		{"ST-WDC", race.WDC, race.SmartTrack},
-	} {
-		rep, err := rt.Analyze(cfg.rel, cfg.lvl)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// The engine has been analyzing all along; Finish closes the stream and
+	// returns every analysis's verdict from the single pass.
+	rep, err := rt.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range rep.Analyses() {
+		sub, _ := rep.ByAnalysis(name)
 		fmt.Printf("%-7s %d statically distinct race(s), %d dynamic\n",
-			cfg.name, rep.Static(), rep.Dynamic())
+			name, sub.Static(), sub.Dynamic())
 	}
 	fmt.Println("\nThe queue hand-offs (locked) and the stop flag (volatile) are race-free;")
 	fmt.Println("every reported race is the unlocked `results` counter.")

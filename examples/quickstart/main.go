@@ -1,6 +1,8 @@
 // Quickstart: build the paper's Figure 1 execution with the trace Builder,
-// run happens-before and the three predictive analyses over it, and
-// vindicate the predictive race.
+// run happens-before and the three predictive analyses over it — first
+// through the batch Analyze wrapper, then through the streaming Engine,
+// which detects the race online, mid-stream — and vindicate the predictive
+// race.
 //
 //	go run ./examples/quickstart
 package main
@@ -27,6 +29,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Batch mode: Analyze wraps the streaming engine for whole traces.
 	fmt.Println("analysis            races")
 	for _, cfg := range []struct {
 		rel race.Relation
@@ -38,15 +41,52 @@ func main() {
 		{race.DC, race.SmartTrack, "SmartTrack-DC"},
 		{race.WDC, race.SmartTrack, "SmartTrack-WDC"},
 	} {
-		rep := race.Analyze(tr, cfg.rel, cfg.lvl)
+		rep, err := race.Analyze(tr, cfg.rel, cfg.lvl)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-19s %d\n", cfg.tag, rep.Dynamic())
+	}
+
+	// Streaming mode: the engine exists before any events do, fans the
+	// stream out to several analyses in one pass, and reports the race the
+	// moment the detecting access is fed — online, as the paper's analyses
+	// run inside RoadRunner.
+	eng, err := race.NewEngine(
+		race.WithAnalyses(
+			race.Cell{Relation: race.HB, Level: race.FTO},
+			race.Cell{Relation: race.WDC, Level: race.SmartTrack},
+		),
+		race.WithOnRace(func(r race.RaceInfo) {
+			fmt.Printf("\nonline: %s flags var %d at event %d, mid-stream\n",
+				r.Analysis, r.Var, r.Index)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if err := eng.Feed(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := eng.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range rep.Analyses() {
+		sub, _ := rep.ByAnalysis(name)
+		fmt.Printf("engine %-8s %d race(s) in one pass\n", name, sub.Dynamic())
 	}
 
 	// The predictive analyses report one race; prove it is real by
 	// constructing a witness reordering.
-	rep := race.Analyze(tr, race.WDC, race.SmartTrack)
-	r := rep.Races()[0]
-	res := race.Vindicate(tr, r.Index)
+	st, _ := rep.ByAnalysis("ST-WDC")
+	r := st.Races()[0]
+	res, err := race.Vindicate(tr, r.Index)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Vindicated {
 		log.Fatalf("expected vindication, got: %s", res.Reason)
 	}

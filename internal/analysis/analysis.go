@@ -97,9 +97,66 @@ func Run(a Analysis, tr *trace.Trace) *report.Collector {
 	return a.Races()
 }
 
-// Constructor builds a fresh analysis instance for a trace with the given
-// id-space sizes.
-type Constructor func(tr *trace.Trace) Analysis
+// Spec carries id-space capacity hints for constructing an analysis. Every
+// field is a hint, not a bound: analyses grow their state tables on demand,
+// so a zero Spec is always valid — it just means every table starts empty
+// and grows as ids appear in the event stream. Constructing from a complete
+// trace (SpecOf) pre-sizes the tables and avoids growth reallocations.
+type Spec struct {
+	// Threads, Vars, Locks, Volatiles, Classes hint the number of distinct
+	// ids of each kind the stream will use.
+	Threads   int
+	Vars      int
+	Locks     int
+	Volatiles int
+	Classes   int
+	// Events hints the total stream length (constraint-graph pre-sizing).
+	Events int
+}
+
+// SpecOf derives exact capacity hints from a complete trace.
+func SpecOf(tr *trace.Trace) Spec {
+	return Spec{
+		Threads:   tr.Threads,
+		Vars:      tr.Vars,
+		Locks:     tr.Locks,
+		Volatiles: tr.Volatiles,
+		Classes:   tr.Classes,
+		Events:    tr.Len(),
+	}
+}
+
+// Constructor builds a fresh analysis instance from capacity hints. The
+// instance exists before any events do and consumes its stream incrementally
+// through Analysis.Handle.
+type Constructor func(spec Spec) Analysis
+
+// Caps describes what a registered analysis can do — the capability
+// metadata the race.Engine and tooling use to pick and explain detectors.
+type Caps struct {
+	// Predictive analyses detect predictable races HB analysis misses
+	// (every relation except HB).
+	Predictive bool
+	// NeedsVindication marks relations that may report false races (DC and
+	// WDC); vindication confirms or leaves individual reports unverified.
+	NeedsVindication bool
+	// BuildsGraph marks analyses that construct the event constraint graph
+	// vindication consumes (the "w/G" configurations).
+	BuildsGraph bool
+	// EpochOptimized marks analyses using epoch/ownership last-access
+	// metadata (FT2, FTO, SmartTrack) rather than full vector clocks.
+	EpochOptimized bool
+}
+
+// CapsFor derives the capability metadata of a Table 1 cell.
+func CapsFor(rel Relation, lvl Level) Caps {
+	return Caps{
+		Predictive:       rel != HB,
+		NeedsVindication: rel == DC || rel == WDC,
+		BuildsGraph:      lvl == UnoptG,
+		EpochOptimized:   lvl == FT2 || lvl == FTO || lvl == SmartTrack,
+	}
+}
 
 // Entry describes one cell of Table 1.
 type Entry struct {
@@ -107,15 +164,23 @@ type Entry struct {
 	Level    Level
 	Name     string
 	New      Constructor
+	Caps     Caps
 }
+
+// NewFor builds the analysis pre-sized for a complete trace's id spaces.
+func (e Entry) NewFor(tr *trace.Trace) Analysis { return e.New(SpecOf(tr)) }
 
 var registry []Entry
 
 // Register adds an analysis to the global registry. Analysis packages call
-// it from init; cmd/racebench and the cross-analysis property tests iterate
-// the registry.
+// it from init; the race.Engine, cmd/racebench, and the cross-analysis
+// property tests iterate the registry. Capability metadata is derived from
+// the cell's position in Table 1.
 func Register(rel Relation, lvl Level, name string, ctor Constructor) {
-	registry = append(registry, Entry{Relation: rel, Level: lvl, Name: name, New: ctor})
+	registry = append(registry, Entry{
+		Relation: rel, Level: lvl, Name: name, New: ctor,
+		Caps: CapsFor(rel, lvl),
+	})
 }
 
 // All returns every registered analysis.
@@ -130,6 +195,22 @@ func Lookup(rel Relation, lvl Level) (Entry, bool) {
 		}
 	}
 	return Entry{}, false
+}
+
+// EnsureLen grows *s to at least n elements, filling with zero values.
+// Analyses use it to grow per-id state tables as new ids appear in a
+// stream; amortized-doubling keeps per-event growth O(1).
+func EnsureLen[T any](s *[]T, n int) {
+	if n <= len(*s) {
+		return
+	}
+	if n <= cap(*s) {
+		*s = (*s)[:n]
+		return
+	}
+	grown := make([]T, n, 2*n)
+	copy(grown, *s)
+	*s = grown
 }
 
 // ByName finds an analysis by its display name.

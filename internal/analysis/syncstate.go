@@ -26,6 +26,10 @@ type Hook interface {
 // All analyses increment the executing thread's local clock after every
 // synchronization operation, which the epoch same-epoch checks require
 // (§5.1 applies this to the unoptimized analyses as well).
+//
+// All per-id tables grow on demand, so a SyncState can be built from a zero
+// Spec before any events exist and consume an unbounded stream whose id
+// spaces are discovered incrementally.
 type SyncState struct {
 	Rel Relation
 
@@ -63,50 +67,94 @@ type SyncState struct {
 	lastClsInit []int32
 }
 
-// NewSyncState builds synchronization state for a trace's id spaces.
-func NewSyncState(rel Relation, tr *trace.Trace) *SyncState {
-	s := &SyncState{
-		Rel:  rel,
-		P:    make([]*vc.VC, tr.Threads),
-		held: make([][]uint32, tr.Threads),
-	}
-	for t := range s.P {
-		s.P[t] = vc.New(tr.Threads)
-		s.P[t].Set(vtid(trace.Tid(t)), 1)
-	}
-	if rel == WCP {
-		s.H = make([]*vc.VC, tr.Threads)
-		for t := range s.H {
-			s.H[t] = vc.New(tr.Threads)
-			s.H[t].Set(vtid(trace.Tid(t)), 1)
-		}
-		s.selfP = make([]vc.Clock, tr.Threads)
-	}
-	if rel == HB || rel == WCP {
-		s.lockP = make([]*vc.VC, tr.Locks)
-		if rel == WCP {
-			s.lockH = make([]*vc.VC, tr.Locks)
-		}
-	}
-	s.volRP = make([]*vc.VC, tr.Volatiles)
-	s.volWP = make([]*vc.VC, tr.Volatiles)
-	s.clsP = make([]*vc.VC, tr.Classes)
-	if rel == WCP {
-		s.volRH = make([]*vc.VC, tr.Volatiles)
-		s.volWH = make([]*vc.VC, tr.Volatiles)
-		s.clsH = make([]*vc.VC, tr.Classes)
-	}
+// NewSyncState builds synchronization state from capacity hints. The hints
+// pre-size the tables; every table still grows on demand as new ids appear.
+func NewSyncState(rel Relation, spec Spec) *SyncState {
+	s := &SyncState{Rel: rel}
+	s.growThreads(spec.Threads)
+	s.growLocks(spec.Locks)
+	s.growVolatiles(spec.Volatiles)
+	s.growClasses(spec.Classes)
 	return s
 }
 
+// Threads returns the number of threads observed so far.
+func (s *SyncState) Threads() int { return len(s.P) }
+
+// growThreads extends the per-thread tables to cover thread ids < n. Each
+// new thread starts with local clock 1 in its own component, exactly as a
+// pre-sized construction would have initialized it.
+func (s *SyncState) growThreads(n int) {
+	for t := len(s.P); t < n; t++ {
+		p := vc.New(n)
+		p.Set(vc.Tid(t), 1)
+		s.P = append(s.P, p)
+		if s.Rel == WCP {
+			h := vc.New(n)
+			h.Set(vc.Tid(t), 1)
+			s.H = append(s.H, h)
+			s.selfP = append(s.selfP, 0)
+		}
+		s.held = append(s.held, nil)
+		if s.hook != nil {
+			s.lastIdx = append(s.lastIdx, -1)
+			s.pendingFork = append(s.pendingFork, -1)
+		}
+	}
+}
+
+func (s *SyncState) growLocks(n int) {
+	if s.Rel == HB || s.Rel == WCP {
+		EnsureLen(&s.lockP, n)
+		if s.Rel == WCP {
+			EnsureLen(&s.lockH, n)
+		}
+	}
+}
+
+func (s *SyncState) growVolatiles(n int) {
+	EnsureLen(&s.volRP, n)
+	EnsureLen(&s.volWP, n)
+	if s.Rel == WCP {
+		EnsureLen(&s.volRH, n)
+		EnsureLen(&s.volWH, n)
+	}
+	if s.hook != nil {
+		GrowNeg(&s.lastVolW, n)
+		GrowNeg(&s.lastVolR, n)
+	}
+}
+
+func (s *SyncState) growClasses(n int) {
+	EnsureLen(&s.clsP, n)
+	if s.Rel == WCP {
+		EnsureLen(&s.clsH, n)
+	}
+	if s.hook != nil {
+		GrowNeg(&s.lastClsInit, n)
+	}
+}
+
+// et ensures thread t's tables exist (ensure-thread).
+func (s *SyncState) et(t trace.Tid) {
+	if int(t) >= len(s.P) {
+		s.growThreads(int(t) + 1)
+	}
+}
+
+// Ensure makes thread t's tables exist. Analyses call it once at the top of
+// Handle so that direct P[t]/H[t] indexing is safe even when t's first
+// event is the one being handled.
+func (s *SyncState) Ensure(t trace.Tid) { s.et(t) }
+
 // SetHook enables constraint-graph edge recording.
-func (s *SyncState) SetHook(h Hook, tr *trace.Trace) {
+func (s *SyncState) SetHook(h Hook, spec Spec) {
 	s.hook = h
-	s.lastIdx = fillNeg(tr.Threads)
-	s.pendingFork = fillNeg(tr.Threads)
-	s.lastVolW = fillNeg(tr.Volatiles)
-	s.lastVolR = fillNeg(tr.Volatiles)
-	s.lastClsInit = fillNeg(tr.Classes)
+	s.lastIdx = fillNeg(max(spec.Threads, len(s.P)))
+	s.pendingFork = fillNeg(max(spec.Threads, len(s.P)))
+	s.lastVolW = fillNeg(max(spec.Volatiles, len(s.volRP)))
+	s.lastVolR = fillNeg(max(spec.Volatiles, len(s.volRP)))
+	s.lastClsInit = fillNeg(max(spec.Classes, len(s.clsP)))
 }
 
 func fillNeg(n int) []int32 {
@@ -115,6 +163,19 @@ func fillNeg(n int) []int32 {
 		v[i] = -1
 	}
 	return v
+}
+
+// GrowNeg grows *s to at least n elements, filling new slots with -1 (the
+// "no event yet" sentinel of graph bookkeeping tables).
+func GrowNeg(s *[]int32, n int) {
+	if n <= len(*s) {
+		return
+	}
+	old := len(*s)
+	EnsureLen(s, n)
+	for i := old; i < n; i++ {
+		(*s)[i] = -1
+	}
 }
 
 func (s *SyncState) edge(src int32, dst int32) {
@@ -129,6 +190,7 @@ func (s *SyncState) OnEvent(t trace.Tid, idx int32) {
 	if s.hook == nil {
 		return
 	}
+	s.et(t)
 	if f := s.pendingFork[t]; f >= 0 {
 		s.hook.Edge(f, idx)
 		s.pendingFork[t] = -1
@@ -138,10 +200,14 @@ func (s *SyncState) OnEvent(t trace.Tid, idx int32) {
 
 // Held returns the locks currently held by t, innermost last. The returned
 // slice aliases internal state; callers must not retain it across events.
-func (s *SyncState) Held(t trace.Tid) []uint32 { return s.held[t] }
+func (s *SyncState) Held(t trace.Tid) []uint32 {
+	s.et(t)
+	return s.held[t]
+}
 
 // Holds reports whether t currently holds lock m.
 func (s *SyncState) Holds(t trace.Tid, m uint32) bool {
+	s.et(t)
 	for _, l := range s.held[t] {
 		if l == m {
 			return true
@@ -158,9 +224,10 @@ func (s *SyncState) JoinP(t trace.Tid, c *vc.VC) {
 	if c == nil {
 		return
 	}
+	s.et(t)
 	s.P[t].Join(c)
 	if s.selfP != nil {
-		if g := c.Get(vtid(t)); g > s.selfP[t] {
+		if g := c.Get(vc.Tid(t)); g > s.selfP[t] {
 			s.selfP[t] = g
 		}
 	}
@@ -168,18 +235,26 @@ func (s *SyncState) JoinP(t trace.Tid, c *vc.VC) {
 
 // Tick increments t's local clock on P (and H for WCP).
 func (s *SyncState) Tick(t trace.Tid) {
-	s.P[t].Tick(vtid(t))
+	s.et(t)
+	s.P[t].Tick(vc.Tid(t))
 	if s.H != nil {
-		s.H[t].Tick(vtid(t))
+		s.H[t].Tick(vc.Tid(t))
 	}
 }
 
 // Epoch returns t's current epoch E(t, local clock).
-func (s *SyncState) Epoch(t trace.Tid) vc.Epoch { return s.P[t].Epoch(vtid(t)) }
+func (s *SyncState) Epoch(t trace.Tid) vc.Epoch {
+	s.et(t)
+	return s.P[t].Epoch(vc.Tid(t))
+}
 
 // PreAcquire applies the release→acquire edges of HB-composing relations
 // (before rule (b) bookkeeping and before the tick).
 func (s *SyncState) PreAcquire(t trace.Tid, m uint32) {
+	s.et(t)
+	if s.Rel == HB || s.Rel == WCP {
+		s.growLocks(int(m) + 1)
+	}
 	if s.lockP != nil {
 		s.JoinP(t, s.lockP[m])
 	}
@@ -190,6 +265,7 @@ func (s *SyncState) PreAcquire(t trace.Tid, m uint32) {
 
 // PostAcquire records the lock as held and ticks.
 func (s *SyncState) PostAcquire(t trace.Tid, m uint32) {
+	s.et(t)
 	s.held[t] = append(s.held[t], m)
 	s.Tick(t)
 }
@@ -198,6 +274,10 @@ func (s *SyncState) PostAcquire(t trace.Tid, m uint32) {
 // removes the lock from the held set, and ticks. Engines call it after
 // their rule (a)/(b) release processing.
 func (s *SyncState) PostRelease(t trace.Tid, m uint32) {
+	s.et(t)
+	if s.Rel == HB || s.Rel == WCP {
+		s.growLocks(int(m) + 1)
+	}
 	if s.lockP != nil {
 		cp := s.P[t].Copy()
 		if s.Rel == WCP {
@@ -207,7 +287,7 @@ func (s *SyncState) PostRelease(t trace.Tid, m uint32) {
 			// clock, which tracks only program order — otherwise WCP would
 			// collapse into HB. What it may export is selfP: self-knowledge
 			// delivered by earlier relation edges.
-			cp.Set(vtid(t), s.selfP[t])
+			cp.Set(vc.Tid(t), s.selfP[t])
 		}
 		s.lockP[m] = cp
 	}
@@ -229,9 +309,11 @@ func (s *SyncState) PostRelease(t trace.Tid, m uint32) {
 // edges. It returns true if the event was one of those kinds.
 func (s *SyncState) HandleOther(e trace.Event, idx int32) bool {
 	t := e.T
+	s.et(t)
 	switch e.Op {
 	case trace.OpFork:
 		child := trace.Tid(e.Targ)
+		s.et(child)
 		s.JoinP(child, s.P[t])
 		if s.H != nil {
 			s.H[child].Join(s.H[t])
@@ -241,6 +323,7 @@ func (s *SyncState) HandleOther(e trace.Event, idx int32) bool {
 		}
 	case trace.OpJoin:
 		child := trace.Tid(e.Targ)
+		s.et(child)
 		s.JoinP(t, s.P[child])
 		if s.H != nil {
 			s.H[t].Join(s.H[child])
@@ -250,6 +333,7 @@ func (s *SyncState) HandleOther(e trace.Event, idx int32) bool {
 		}
 	case trace.OpVolatileRead:
 		v := e.Targ
+		s.growVolatiles(int(v) + 1)
 		s.JoinP(t, s.volWP[v])
 		if s.H != nil {
 			s.H[t].Join(s.volWH[v])
@@ -264,6 +348,7 @@ func (s *SyncState) HandleOther(e trace.Event, idx int32) bool {
 		}
 	case trace.OpVolatileWrite:
 		v := e.Targ
+		s.growVolatiles(int(v) + 1)
 		s.JoinP(t, s.volWP[v])
 		s.JoinP(t, s.volRP[v])
 		if s.H != nil {
@@ -281,6 +366,7 @@ func (s *SyncState) HandleOther(e trace.Event, idx int32) bool {
 		}
 	case trace.OpClassInit:
 		c := e.Targ
+		s.growClasses(int(c) + 1)
 		joinInto(&s.clsP[c], s.P[t])
 		if s.clsH != nil {
 			joinInto(&s.clsH[c], s.H[t])
@@ -290,6 +376,7 @@ func (s *SyncState) HandleOther(e trace.Event, idx int32) bool {
 		}
 	case trace.OpClassAccess:
 		c := e.Targ
+		s.growClasses(int(c) + 1)
 		s.JoinP(t, s.clsP[c])
 		if s.H != nil {
 			s.H[t].Join(s.clsH[c])
@@ -324,7 +411,3 @@ func (s *SyncState) Weight() int {
 	}
 	return w
 }
-
-// vtid converts a trace thread id to a vector-clock thread id (both are
-// dense uint16 spaces).
-func vtid(t trace.Tid) vc.Tid { return vc.Tid(t) }

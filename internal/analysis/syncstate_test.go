@@ -7,8 +7,8 @@ import (
 	"repro/internal/vc"
 )
 
-func tinyTrace(threads, locks, vols, classes int) *trace.Trace {
-	return &trace.Trace{Threads: threads, Locks: locks, Volatiles: vols, Classes: classes}
+func tinyTrace(threads, locks, vols, classes int) Spec {
+	return Spec{Threads: threads, Locks: locks, Volatiles: vols, Classes: classes}
 }
 
 func TestInitialClocks(t *testing.T) {
@@ -221,7 +221,7 @@ func TestRunHelper(t *testing.T) {
 	if !ok {
 		t.Skip("unopt not linked in this package's tests")
 	}
-	col := Run(e.New(tr), tr)
+	col := Run(e.NewFor(tr), tr)
 	if col.Dynamic() != 1 {
 		t.Errorf("dynamic = %d", col.Dynamic())
 	}

@@ -105,7 +105,7 @@ func RenderTable2(cfg Config) string {
 			fmt.Fprintln(w, "Program\t#Thr\tEvents All\tNSEAs\t≥1 lock\t≥2\t≥3")
 			for _, p := range cfg.SelectedPrograms() {
 				tr := p.Generate(cfg.ScaleDiv, cfg.Seed)
-				a := fto.New(analysis.HB, tr)
+				a := fto.New(analysis.HB, analysis.SpecOf(tr))
 				analysis.Run(a, tr)
 				st := a.Stats()
 				n := st.NSEAs()
@@ -274,7 +274,7 @@ func RenderTable12(cfg Config) string {
 		fmt.Fprintln(w, "Program\tEvent\tTotal\tOwned Excl\tOwned Shared\tUnowned Excl\tUnowned Share\tUnowned Shared")
 		for _, p := range cfg.SelectedPrograms() {
 			tr := p.Generate(cfg.ScaleDiv, cfg.Seed)
-			a := core.New(analysis.WDC, tr)
+			a := core.New(analysis.WDC, analysis.SpecOf(tr))
 			analysis.Run(a, tr)
 			c := a.Cases()
 			pct := func(n, total uint64) string {
@@ -309,7 +309,7 @@ func RenderFigures() string {
 				if e.Relation != rel {
 					continue
 				}
-				col := analysis.Run(e.New(fig.Trace), fig.Trace)
+				col := analysis.Run(e.NewFor(fig.Trace), fig.Trace)
 				if _, ok := col.FirstRace(fig.RaceVar); ok {
 					detecting = append(detecting, e.Name)
 				}
@@ -321,7 +321,7 @@ func RenderFigures() string {
 			fmt.Fprintf(&b, "  %-4s %s\n", rel.String()+":", verdict)
 		}
 		// Vindication via the weakest relation's constraint graph.
-		a := unopt.NewPredictive(analysis.WDC, fig.Trace, true)
+		a := unopt.NewPredictive(analysis.WDC, analysis.SpecOf(fig.Trace), true)
 		analysis.Run(a, fig.Trace)
 		if races := a.Races().Races(); len(races) > 0 {
 			res := vindicate.Race(fig.Trace, a.Graph(), races[0].Index, vindicate.Options{})

@@ -6,12 +6,31 @@
 //     Lr[m][x] / Lw[m][x] of critical-section release times keyed by
 //     variable (LockTables); and
 //   - rule (b), release–release ordering of critical sections whose earlier
-//     acquire is ordered before the later release, via per-(lock, thread
-//     pair) FIFO queues of acquire and release times (RuleB).
+//     acquire is ordered before the later release, via per-(lock, owner)
+//     logs of acquire and release times with per-(observer, owner) cursors
+//     (RuleB).
 //
 // Both are shared by the unoptimized (Algorithm 1) and FTO (Algorithm 2)
 // engines; the SmartTrack engine replaces LockTables with per-variable CS
 // lists but reuses RuleB with epoch-valued acquire queues.
+//
+// All state grows on demand: neither structure needs the trace's id spaces
+// up front, so both work under the streaming engine, where threads and
+// locks are discovered as events arrive. RuleB in particular keeps one
+// append-only log of critical sections per (lock, owner) and a consumed-
+// prefix cursor per (observer, owner) pair — a thread forked mid-stream
+// starts its cursors at zero and therefore observes the full history,
+// exactly as the pre-sized batch construction did with per-pair FIFO
+// queues (the paper's Acq_m,t(t') / Rel_m,t(t')).
+//
+// The logs are retained for the analysis's lifetime even after every
+// current observer's cursor has passed an entry: a thread forked later may
+// still be rule (b)-ordered after an old critical section (e.g. through a
+// fork edge from its owner), so dropping consumed entries would weaken the
+// relation and over-report races. Rule (b) memory therefore grows with the
+// number of critical sections per lock — the same worst case as the old
+// per-pair queues (which only freed entries once consumed), minus their
+// (T-1)-way duplication of every entry.
 package ccs
 
 import (
@@ -20,33 +39,6 @@ import (
 	"repro/internal/vc"
 )
 
-// queue is a FIFO with O(1) amortized operations.
-type queue[T any] struct {
-	items []T
-	head  int
-}
-
-func (q *queue[T]) push(v T) { q.items = append(q.items, v) }
-
-func (q *queue[T]) empty() bool { return q.head >= len(q.items) }
-
-func (q *queue[T]) front() T { return q.items[q.head] }
-
-func (q *queue[T]) pop() T {
-	v := q.items[q.head]
-	var zero T
-	q.items[q.head] = zero
-	q.head++
-	if q.head > 64 && q.head*2 > len(q.items) {
-		n := copy(q.items, q.items[q.head:])
-		q.items = q.items[:n]
-		q.head = 0
-	}
-	return v
-}
-
-func (q *queue[T]) len() int { return len(q.items) - q.head }
-
 // relEntry pairs a critical section's release time with the release's trace
 // index (for constraint-graph edges).
 type relEntry struct {
@@ -54,7 +46,7 @@ type relEntry struct {
 	idx int32
 }
 
-// acqEntry is a queued acquire time: a full vector clock for DC at the
+// acqEntry is a logged acquire time: a full vector clock for DC at the
 // Unopt/FTO levels (Algorithm 1 line 2), or an epoch when the owning
 // analysis uses the epoch-queue optimization (SmartTrack, and WCP at every
 // level — for WCP the ordering test a₁ ≺WCP r₂ is exactly the component
@@ -65,31 +57,40 @@ type acqEntry struct {
 	ep vc.Epoch
 }
 
-// lockQueues holds the per-thread-pair queues for one lock, keyed by
-// owner*T + acquirer — Acq_{m,owner}(acquirer) in the paper's notation.
-// Pairs are materialized on first use: a lock touched by two threads holds
-// two pair queues, not T².
-type lockQueues struct {
-	acq map[int32]*queue[acqEntry]
-	rel map[int32]*queue[relEntry]
+// csLog is the append-only critical-section history of one (lock, owner)
+// pair: acq[i] and rel[i] are the acquire and release times of the owner's
+// i-th critical section on the lock. Per-lock mutual exclusion guarantees
+// that whenever another thread processes its own release of the lock,
+// every logged acquire has a matching logged release (len(rel) ≥ any
+// cursor that can be consumed), because the owner cannot still be inside
+// a critical section another thread is releasing.
+type csLog struct {
+	acq []acqEntry
+	rel []relEntry
 }
 
-func (q *lockQueues) acqQ(k int32) *queue[acqEntry] {
-	p := q.acq[k]
-	if p == nil {
-		p = &queue[acqEntry]{}
-		q.acq[k] = p
-	}
-	return p
+// lockLogs holds the per-owner logs for one lock (indexed by owner thread
+// id — dense, so a growable slice; nil means the owner has no critical
+// sections on this lock) plus the per-pair consumed-prefix cursors, keyed
+// observer<<16|owner (thread ids are dense uint16, so the key is stable as
+// the thread count grows).
+type lockLogs struct {
+	byOwner []*csLog
+	head    map[uint32]int
 }
 
-func (q *lockQueues) relQ(k int32) *queue[relEntry] {
-	p := q.rel[k]
-	if p == nil {
-		p = &queue[relEntry]{}
-		q.rel[k] = p
+func pairKey(observer, owner trace.Tid) uint32 {
+	return uint32(observer)<<16 | uint32(owner)
+}
+
+func (ll *lockLogs) owner(t trace.Tid) *csLog {
+	analysis.EnsureLen(&ll.byOwner, int(t)+1)
+	lg := ll.byOwner[t]
+	if lg == nil {
+		lg = &csLog{}
+		ll.byOwner[t] = lg
 	}
-	return p
+	return lg
 }
 
 // RuleB computes rule (b): at each release of m by t, any earlier critical
@@ -98,74 +99,70 @@ func (q *lockQueues) relQ(k int32) *queue[relEntry] {
 type RuleB struct {
 	rel      analysis.Relation
 	epochAcq bool
-	threads  int
-	locks    []*lockQueues
+	locks    []*lockLogs
 }
 
-// NewRuleB builds rule (b) state. epochAcq selects epoch-valued acquire
-// queues (SmartTrack's optimization); it is forced on for WCP.
-func NewRuleB(rel analysis.Relation, tr *trace.Trace, epochAcq bool) *RuleB {
+// NewRuleB builds rule (b) state from capacity hints. epochAcq selects
+// epoch-valued acquire logs (SmartTrack's optimization); it is forced on
+// for WCP.
+func NewRuleB(rel analysis.Relation, spec analysis.Spec, epochAcq bool) *RuleB {
 	if rel == analysis.WCP {
 		epochAcq = true
 	}
 	return &RuleB{
 		rel:      rel,
 		epochAcq: epochAcq,
-		threads:  tr.Threads,
-		locks:    make([]*lockQueues, tr.Locks),
+		locks:    make([]*lockLogs, spec.Locks),
 	}
 }
 
-func (b *RuleB) lockState(m uint32) *lockQueues {
+func (b *RuleB) lockState(m uint32) *lockLogs {
+	analysis.EnsureLen(&b.locks, int(m)+1)
 	q := b.locks[m]
 	if q == nil {
-		q = &lockQueues{acq: make(map[int32]*queue[acqEntry]), rel: make(map[int32]*queue[relEntry])}
+		q = &lockLogs{head: make(map[uint32]int)}
 		b.locks[m] = q
 	}
 	return q
 }
 
-// Acquire enqueues the acquire time of t's new critical section on m into
-// every other thread's queue (Algorithm 1 line 2 / Algorithm 3 line 2).
-// P is the relation clock of t at the acquire (after any HB lock joins,
-// before the tick).
+// Acquire logs the acquire time of t's new critical section on m
+// (Algorithm 1 line 2 / Algorithm 3 line 2). P is the relation clock of t
+// at the acquire (after any HB lock joins, before the tick).
 func (b *RuleB) Acquire(t trace.Tid, m uint32, p *vc.VC) {
-	q := b.lockState(m)
 	var ent acqEntry
 	if b.epochAcq {
 		ent.ep = p.Epoch(vc.Tid(t))
 	} else {
-		ent.c = p.Copy() // one snapshot shared by all queues
+		ent.c = p.Copy()
 	}
-	for u := 0; u < b.threads; u++ {
-		if trace.Tid(u) == t {
-			continue
-		}
-		q.acqQ(int32(u*b.threads + int(t))).push(ent)
-	}
+	lg := b.lockState(m).owner(t)
+	lg.acq = append(lg.acq, ent)
 }
 
 // Release performs rule (b) at t's release of m (Algorithm 1 lines 4–8):
 // earlier critical sections whose acquires are ordered before the current
-// clock contribute their release times, which are joined into p; then the
-// current release time is enqueued for every other thread. For WCP the
-// enqueued release time is the HB clock h (left HB-composition); for DC it
-// is the relation clock itself. idx is the trace index of the release
-// event; hook (optional) receives rule (b) constraint edges.
+// clock contribute their release times, which are joined into t's relation
+// clock; then the current release time is logged. For WCP the logged
+// release time is the HB clock (left HB-composition); for DC it is the
+// relation clock itself. idx is the trace index of the release event; hook
+// (optional) receives rule (b) constraint edges.
 func (b *RuleB) Release(t trace.Tid, m uint32, s *analysis.SyncState, idx int32, hook analysis.Hook) {
 	p := s.P[t]
-	q := b.lockState(m)
-	for u := 0; u < b.threads; u++ {
-		if trace.Tid(u) == t {
+	ll := b.lockState(m)
+	// Owners iterate in ascending thread order — the same order as the old
+	// pre-sized per-pair queues. Determinism matters: JoinP below grows p,
+	// which the ordered test reads, so the iteration order is part of the
+	// algorithm's observable behavior.
+	for owner := 0; owner < len(ll.byOwner); owner++ {
+		lg := ll.byOwner[owner]
+		if lg == nil || owner == int(t) {
 			continue
 		}
-		aq := q.acq[int32(int(t)*b.threads+u)]
-		if aq == nil || aq.empty() {
-			continue
-		}
-		rq := q.relQ(int32(int(t)*b.threads + u))
-		for !aq.empty() {
-			front := aq.front()
+		k := pairKey(t, trace.Tid(owner))
+		h := ll.head[k]
+		for h < len(lg.acq) {
+			front := lg.acq[h]
 			var ordered bool
 			if b.epochAcq {
 				ordered = vc.EpochLeq(front.ep, p)
@@ -175,60 +172,49 @@ func (b *RuleB) Release(t trace.Tid, m uint32, s *analysis.SyncState, idx int32,
 			if !ordered {
 				break
 			}
-			aq.pop()
-			re := rq.pop()
+			re := lg.rel[h]
+			h++
 			s.JoinP(t, re.c) // rule (b): r1 ≺ r2
 			if hook != nil && re.idx >= 0 {
 				hook.Edge(re.idx, idx)
 			}
+		}
+		if h > 0 {
+			ll.head[k] = h
 		}
 	}
 	snap := p
 	if b.rel == analysis.WCP {
 		snap = s.H[t]
 	}
-	shared := relEntry{c: snap.Copy(), idx: idx}
-	for u := 0; u < b.threads; u++ {
-		if trace.Tid(u) == t {
-			continue
-		}
-		q.relQ(int32(u*b.threads + int(t))).push(shared)
-	}
+	lg := ll.owner(t)
+	lg.rel = append(lg.rel, relEntry{c: snap.Copy(), idx: idx})
 }
 
-// Weight estimates retained queue metadata in 8-byte words.
+// Weight estimates retained rule (b) metadata in 8-byte words.
 func (b *RuleB) Weight() int {
 	w := 0
-	for _, lq := range b.locks {
-		if lq == nil {
+	for _, ll := range b.locks {
+		if ll == nil {
 			continue
 		}
-		w += 4 * (len(lq.acq) + len(lq.rel)) // pair-queue headers
-		for _, aq := range lq.acq {
-			n := aq.len()
-			w += 2 * n
-			if !b.epochAcq && n > 0 {
-				// Snapshots are shared across T-1 queues; charge each queue
-				// a proportional share of the vector-clock payload.
-				w += n * aq.front().c.Weight() / maxInt(1, b.threads-1)
+		w += 2 * len(ll.head)
+		for _, lg := range ll.byOwner {
+			if lg == nil {
+				continue
 			}
-		}
-		for _, rq := range lq.rel {
-			n := rq.len()
-			w += 2 * n
-			if n > 0 {
-				w += n * rq.front().c.Weight() / maxInt(1, b.threads-1)
+			w += 2 * (len(lg.acq) + len(lg.rel))
+			for _, a := range lg.acq {
+				if a.c != nil {
+					w += a.c.Weight()
+				}
+			}
+			for _, r := range lg.rel {
+				w += r.c.Weight()
 			}
 		}
 	}
 	return w
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // LockTables is rule (a) state for the Unopt and FTO levels: per lock, the
@@ -249,12 +235,13 @@ type lockTab struct {
 	rs, ws       map[uint32]struct{}
 }
 
-// NewLockTables builds empty rule (a) tables.
-func NewLockTables(tr *trace.Trace, markWritesAsReads bool) *LockTables {
-	return &LockTables{MarkWritesAsReads: markWritesAsReads, locks: make([]*lockTab, tr.Locks)}
+// NewLockTables builds empty rule (a) tables from capacity hints.
+func NewLockTables(spec analysis.Spec, markWritesAsReads bool) *LockTables {
+	return &LockTables{MarkWritesAsReads: markWritesAsReads, locks: make([]*lockTab, spec.Locks)}
 }
 
 func (lt *LockTables) tab(m uint32) *lockTab {
+	analysis.EnsureLen(&lt.locks, int(m)+1)
 	tb := lt.locks[m]
 	if tb == nil {
 		tb = &lockTab{
@@ -309,6 +296,9 @@ func (lt *LockTables) WriteJoin(t trace.Tid, m, x uint32, s *analysis.SyncState,
 // the release time rt (Algorithm 1 lines 9–11): the relation clock for DC
 // and WDC, the HB clock for WCP.
 func (lt *LockTables) Release(t trace.Tid, m uint32, rt *vc.VC, idx int32) {
+	if int(m) >= len(lt.locks) {
+		return
+	}
 	tb := lt.locks[m]
 	if tb == nil {
 		return

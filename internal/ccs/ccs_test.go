@@ -4,53 +4,37 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
-	"repro/internal/trace"
 	"repro/internal/vc"
 )
 
-func syncFor(rel analysis.Relation, threads, locks int) (*analysis.SyncState, *trace.Trace) {
-	tr := &trace.Trace{Threads: threads, Locks: locks, Vars: 8}
-	return analysis.NewSyncState(rel, tr), tr
+func syncFor(rel analysis.Relation, threads, locks int) (*analysis.SyncState, analysis.Spec) {
+	spec := analysis.Spec{Threads: threads, Locks: locks, Vars: 8}
+	return analysis.NewSyncState(rel, spec), spec
 }
 
-func TestQueueFIFO(t *testing.T) {
-	var q queue[int]
-	if !q.empty() {
-		t.Fatal("new queue must be empty")
-	}
-	for i := 0; i < 200; i++ {
-		q.push(i)
-	}
-	if q.len() != 200 {
-		t.Fatalf("len = %d", q.len())
-	}
-	for i := 0; i < 200; i++ {
-		if q.front() != i {
-			t.Fatalf("front = %d, want %d", q.front(), i)
-		}
-		if q.pop() != i {
-			t.Fatalf("pop mismatch at %d", i)
-		}
-	}
-	if !q.empty() {
-		t.Fatal("drained queue must be empty")
-	}
-}
+func TestRuleBLateThreadSeesHistory(t *testing.T) {
+	// A thread that first appears after critical sections already completed
+	// must still observe them at its own release — its consumed-prefix
+	// cursors start at zero over the append-only logs — exactly as the
+	// pre-sized batch construction enqueued history for every thread up
+	// front. This is what keeps streaming (threads discovered mid-stream)
+	// equivalent to batch analysis.
+	s, _ := syncFor(analysis.DC, 1, 1) // hints declare ONE thread
+	rb := NewRuleB(analysis.DC, analysis.Spec{Threads: 1, Locks: 1}, false)
 
-func TestQueueCompaction(t *testing.T) {
-	var q queue[int]
-	for round := 0; round < 10; round++ {
-		for i := 0; i < 100; i++ {
-			q.push(i)
-		}
-		for i := 0; i < 100; i++ {
-			q.pop()
-		}
-	}
-	// After steady-state churn the backing array must not hold all 1000
-	// slots (compaction keeps it bounded).
-	if cap(q.items) > 512 {
-		t.Errorf("queue never compacts: cap=%d", cap(q.items))
+	rb.Acquire(0, 0, s.P[0])
+	s.PostAcquire(0, 0)
+	rb.Release(0, 0, s, 1, nil)
+	s.PostRelease(0, 0)
+
+	// Thread 1 appears only now, after T0's critical section is history.
+	s.Ensure(1)
+	rb.Acquire(1, 0, s.P[1])
+	s.PostAcquire(1, 0)
+	s.JoinP(1, s.P[0])
+	rb.Release(1, 0, s, 5, nil)
+	if s.P[1].Get(0) < 2 {
+		t.Errorf("late-forked thread missed historical release time: %v", s.P[1])
 	}
 }
 
@@ -259,26 +243,29 @@ func TestWeights(t *testing.T) {
 }
 
 func TestWCPForcesEpochQueues(t *testing.T) {
-	tr := &trace.Trace{Threads: 2, Locks: 1}
-	rb := NewRuleB(analysis.WCP, tr, false)
+	spec := analysis.Spec{Threads: 2, Locks: 1}
+	rb := NewRuleB(analysis.WCP, spec, false)
 	if !rb.epochAcq {
 		t.Error("WCP must use epoch acquire queues (component ordering test)")
 	}
 }
 
 func TestRuleBWCPEnqueuesHBTime(t *testing.T) {
-	tr := &trace.Trace{Threads: 2, Locks: 1, Vars: 1}
-	s := analysis.NewSyncState(analysis.WCP, tr)
-	rb := NewRuleB(analysis.WCP, tr, true)
+	spec := analysis.Spec{Threads: 2, Locks: 1, Vars: 1}
+	s := analysis.NewSyncState(analysis.WCP, spec)
+	rb := NewRuleB(analysis.WCP, spec, true)
 	rb.Acquire(0, 0, s.P[0])
 	s.PostAcquire(0, 0)
 	rb.Release(0, 0, s, 1, nil)
 	s.PostRelease(0, 0)
-	// The queued release entry must be the HB clock (its own component is
+	// The logged release entry must be the HB clock (its own component is
 	// the local clock, which P strips on export).
-	q := rb.locks[0]
-	ent := q.rel[1*2+0].front()
+	lg := rb.locks[0].byOwner[0]
+	if len(lg.rel) != 1 {
+		t.Fatalf("release log length = %d, want 1", len(lg.rel))
+	}
+	ent := lg.rel[0]
 	if ent.c.Get(0) != s.H[0].Get(vc.Tid(0))-1 && ent.c.Get(0) == 0 {
-		t.Errorf("WCP rule (b) must enqueue HB release times, got %v", ent.c)
+		t.Errorf("WCP rule (b) must log HB release times, got %v", ent.c)
 	}
 }

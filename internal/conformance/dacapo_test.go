@@ -20,7 +20,7 @@ func TestDacapoRaceShape(t *testing.T) {
 		t.Run(p.Name, func(t *testing.T) {
 			tr := p.Generate(dacapoTestScale, 1)
 			for _, entry := range analysis.All() {
-				col := analysis.Run(entry.New(tr), tr)
+				col := analysis.Run(entry.NewFor(tr), tr)
 				want := p.ExpectedStatic(entry.Relation.String())
 				if got := col.Static(); got != want {
 					t.Errorf("%s: static races = %d, want %d", entry.Name, got, want)
@@ -41,7 +41,7 @@ func TestDacapoCharacteristics(t *testing.T) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			tr := p.Generate(dacapoTestScale, 1)
-			a := fto.New(analysis.HB, tr)
+			a := fto.New(analysis.HB, analysis.SpecOf(tr))
 			analysis.Run(a, tr)
 			st := a.Stats()
 			gotF := float64(st.NSEAs()) / float64(tr.Len())

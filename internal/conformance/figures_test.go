@@ -71,7 +71,7 @@ func TestFigures(t *testing.T) {
 		for _, entry := range analysis.All() {
 			entry := entry
 			t.Run(fmt.Sprintf("%s/%s", fig.Name, entry.Name), func(t *testing.T) {
-				a := entry.New(fig.Trace)
+				a := entry.NewFor(fig.Trace)
 				col := analysis.Run(a, fig.Trace)
 				want := fig.RaceBy[entry.Relation.String()]
 				_, got := col.FirstRace(fig.RaceVar)
@@ -102,7 +102,7 @@ func TestFigureMonotonicity(t *testing.T) {
 				if !ok {
 					continue // SmartTrack-HB is N/A
 				}
-				col := analysis.Run(entry.New(fig.Trace), fig.Trace)
+				col := analysis.Run(entry.NewFor(fig.Trace), fig.Trace)
 				cur := make(map[uint32]bool)
 				for _, v := range col.RaceVars() {
 					cur[v] = true

@@ -34,7 +34,7 @@ func TestWCPSoundnessAgainstOracle(t *testing.T) {
 		tr := workload.Random(cfg)
 		for _, lvl := range []analysis.Level{analysis.Unopt, analysis.FTO, analysis.SmartTrack} {
 			entry, _ := analysis.Lookup(analysis.WCP, lvl)
-			col := analysis.Run(entry.New(tr), tr)
+			col := analysis.Run(entry.NewFor(tr), tr)
 			for _, v := range col.RaceVars() {
 				res := oracle.RaceOnVar(tr, v, oracle.Budget{})
 				if !res.Complete {
@@ -55,7 +55,7 @@ func TestHBRaceImpliesPredictable(t *testing.T) {
 	for _, cfg := range tinyConfigs() {
 		tr := workload.Random(cfg)
 		entry, _ := analysis.Lookup(analysis.HB, analysis.FTO)
-		col := analysis.Run(entry.New(tr), tr)
+		col := analysis.Run(entry.NewFor(tr), tr)
 		if col.Dynamic() == 0 {
 			continue
 		}
@@ -77,7 +77,7 @@ func TestVindicationSoundAgainstOracle(t *testing.T) {
 	checked := 0
 	for _, cfg := range tinyConfigs() {
 		tr := workload.Random(cfg)
-		a := unopt.NewPredictive(analysis.WDC, tr, true)
+		a := unopt.NewPredictive(analysis.WDC, analysis.SpecOf(tr), true)
 		analysis.Run(a, tr)
 		for i, r := range a.Races().Races() {
 			if i >= 3 {
@@ -111,7 +111,7 @@ func TestOracleRaceImpliesWDCRace(t *testing.T) {
 	for _, cfg := range tinyConfigs() {
 		tr := workload.Random(cfg)
 		entry, _ := analysis.Lookup(analysis.WDC, analysis.Unopt)
-		col := analysis.Run(entry.New(tr), tr)
+		col := analysis.Run(entry.NewFor(tr), tr)
 		flagged := make(map[uint32]bool)
 		for _, v := range col.RaceVars() {
 			flagged[v] = true

@@ -18,7 +18,7 @@ func raceVars(t *testing.T, rel analysis.Relation, lvl analysis.Level, tr *trace
 	if !ok {
 		t.Fatalf("no analysis for %v/%v", rel, lvl)
 	}
-	col := analysis.Run(entry.New(tr), tr)
+	col := analysis.Run(entry.NewFor(tr), tr)
 	set := make(map[uint32]bool)
 	for _, v := range col.RaceVars() {
 		set[v] = true
@@ -154,7 +154,7 @@ func TestRaceFreeUnderAllAnalyses(t *testing.T) {
 	}
 	tr := trace.MustCheck(b.Build())
 	for _, entry := range analysis.All() {
-		col := analysis.Run(entry.New(tr), tr)
+		col := analysis.Run(entry.NewFor(tr), tr)
 		if col.Dynamic() != 0 {
 			t.Errorf("%s: %d races on race-free trace: %v", entry.Name, col.Dynamic(), col.Races())
 		}
@@ -172,7 +172,7 @@ func TestSameSiteDedup(t *testing.T) {
 	}
 	tr := trace.MustCheck(b.Build())
 	for _, entry := range analysis.All() {
-		col := analysis.Run(entry.New(tr), tr)
+		col := analysis.Run(entry.NewFor(tr), tr)
 		if col.Static() != 1 {
 			t.Errorf("%s: static races = %d, want 1", entry.Name, col.Static())
 		}

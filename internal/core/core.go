@@ -126,16 +126,15 @@ func (c *CaseCounts) HeldAtLeast(k int) uint64 {
 
 // Analysis is SmartTrack-WCP, SmartTrack-DC, or SmartTrack-WDC.
 type Analysis struct {
-	rel     analysis.Relation
-	s       *analysis.SyncState
-	rb      *ccs.RuleB // epoch acquire queues; nil for WDC
-	vars    []stVar
-	ht      []csList // current CS list per thread
-	col     *report.Collector
-	cases   CaseCounts
-	threads int
-	idx     int32
-	raced   bool // one dynamic race per access event
+	rel   analysis.Relation
+	s     *analysis.SyncState
+	rb    *ccs.RuleB // epoch acquire queues; nil for WDC
+	vars  []stVar
+	ht    []csList // current CS list per thread
+	col   *report.Collector
+	cases CaseCounts
+	idx   int32
+	raced bool // one dynamic race per access event
 }
 
 // Options tunes SmartTrack for ablation studies.
@@ -147,29 +146,29 @@ type Options struct {
 	VectorAcquireQueues bool
 }
 
-// New builds a SmartTrack analysis for relation rel over tr's id spaces.
-func New(rel analysis.Relation, tr *trace.Trace) *Analysis {
-	return NewWithOptions(rel, tr, Options{})
+// New builds a SmartTrack analysis for relation rel from capacity hints;
+// state grows on demand as new ids appear in the stream.
+func New(rel analysis.Relation, spec analysis.Spec) *Analysis {
+	return NewWithOptions(rel, spec, Options{})
 }
 
 // NewWithOptions builds a SmartTrack analysis with ablation options.
-func NewWithOptions(rel analysis.Relation, tr *trace.Trace, opts Options) *Analysis {
+func NewWithOptions(rel analysis.Relation, spec analysis.Spec, opts Options) *Analysis {
 	if rel == analysis.HB {
 		panic("core: SmartTrack does not apply to HB (Table 1 marks it N/A)")
 	}
 	a := &Analysis{
-		rel:     rel,
-		s:       analysis.NewSyncState(rel, tr),
-		vars:    make([]stVar, tr.Vars),
-		ht:      make([]csList, tr.Threads),
-		col:     report.NewCollector(),
-		threads: tr.Threads,
+		rel:  rel,
+		s:    analysis.NewSyncState(rel, spec),
+		vars: make([]stVar, spec.Vars),
+		ht:   make([]csList, spec.Threads),
+		col:  report.NewCollector(),
 	}
 	if rel != analysis.WDC {
 		// SmartTrack's default uses epoch acquire queues: because every
 		// analysis ticks the local clock at acquires, an epoch suffices to
 		// test whether an acquire is ordered before a later release.
-		a.rb = ccs.NewRuleB(rel, tr, !opts.VectorAcquireQueues)
+		a.rb = ccs.NewRuleB(rel, spec, !opts.VectorAcquireQueues)
 	}
 	return a
 }
@@ -188,6 +187,8 @@ func (a *Analysis) Handle(e trace.Event) {
 	idx := a.idx
 	a.idx++
 	t := e.T
+	a.s.Ensure(t)
+	analysis.EnsureLen(&a.ht, int(t)+1)
 	switch e.Op {
 	case trace.OpRead:
 		a.read(t, e.Targ, e.Loc, idx)
@@ -201,7 +202,7 @@ func (a *Analysis) Handle(e trace.Event) {
 		// Prepend the new innermost critical section with an unresolved
 		// release time: ∞ in the owner's slot makes every ordering query
 		// against it fail until the release fills it in.
-		c := vc.New(a.threads)
+		c := vc.New(a.s.Threads())
 		c.Set(vc.Tid(t), vc.Inf)
 		a.ht[t] = a.ht[t].push(csEntry{c: c, m: e.Targ})
 		a.s.PostAcquire(t, e.Targ)
@@ -292,6 +293,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	tt := vc.Tid(t)
 	c := p.Get(tt)
 	cur := vc.E(tt, c)
+	analysis.EnsureLen(&a.vars, int(x)+1)
 	v := &a.vars[x]
 	if v.rvc == nil && v.r == cur {
 		a.cases.ReadSameEpoch++
@@ -338,7 +340,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 		// [Read Share]
 		a.cases.ReadShare++
 		a.multiCheck(v.lw, v.w.Tid(), v.w, t, p, x, loc, idx, false)
-		lrByT := make([]csList, a.threads)
+		lrByT := make([]csList, a.s.Threads())
 		lrByT[u] = v.lr
 		lrByT[tt] = a.ht[t]
 		v.lrByT = lrByT
@@ -352,6 +354,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	}
 	if v.rvc.Get(tt) != 0 { // [Read Shared Owned]
 		a.cases.ReadSharedOwned++
+		analysis.EnsureLen(&v.lrByT, int(tt)+1)
 		v.lrByT[tt] = a.ht[t]
 		v.rvc.Set(tt, c)
 		return
@@ -359,6 +362,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	// [Read Shared]
 	a.cases.ReadShared++
 	a.multiCheck(v.lw, v.w.Tid(), v.w, t, p, x, loc, idx, false)
+	analysis.EnsureLen(&v.lrByT, int(tt)+1)
 	v.lrByT[tt] = a.ht[t]
 	v.rvc.Set(tt, c)
 }
@@ -369,6 +373,7 @@ func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	tt := vc.Tid(t)
 	c := p.Get(tt)
 	cur := vc.E(tt, c)
+	analysis.EnsureLen(&a.vars, int(x)+1)
 	v := &a.vars[x]
 	if v.w == cur {
 		a.cases.WriteSameEpoch++
@@ -404,7 +409,9 @@ func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 		}
 	} else { // [Write Shared]
 		a.cases.WriteShared++
-		for u := 0; u < a.threads; u++ {
+		// Every thread with a component in rvc has an lrByT slot (both are
+		// set together at reads), so the slot count bounds the candidates.
+		for u := 0; u < len(v.lrByT); u++ {
 			ut := vc.Tid(u)
 			if ut == tt || v.rvc.Get(ut) == 0 {
 				continue
@@ -480,6 +487,6 @@ func init() {
 	for _, rel := range []analysis.Relation{analysis.WCP, analysis.DC, analysis.WDC} {
 		rel := rel
 		analysis.Register(rel, analysis.SmartTrack, "ST-"+rel.String(),
-			func(tr *trace.Trace) analysis.Analysis { return New(rel, tr) })
+			func(spec analysis.Spec) analysis.Analysis { return New(rel, spec) })
 	}
 }

@@ -11,7 +11,7 @@ import (
 
 func run(t *testing.T, rel analysis.Relation, tr *trace.Trace) *Analysis {
 	t.Helper()
-	a := New(rel, tr)
+	a := New(rel, analysis.SpecOf(tr))
 	for _, e := range tr.Events {
 		a.Handle(e)
 	}
@@ -24,7 +24,7 @@ func TestNewRejectsHB(t *testing.T) {
 			t.Error("SmartTrack-HB must panic (N/A in Table 1)")
 		}
 	}()
-	New(analysis.HB, &trace.Trace{Threads: 1})
+	New(analysis.HB, analysis.Spec{Threads: 1})
 }
 
 func TestSameEpochCases(t *testing.T) {
@@ -109,7 +109,7 @@ func TestNSEAAccounting(t *testing.T) {
 // section), consumed at T3's read under the same lock.
 func TestExtrasLifecycle(t *testing.T) {
 	fig := workload.Figure4C()
-	a := New(analysis.DC, fig.Trace)
+	a := New(analysis.DC, analysis.SpecOf(fig.Trace))
 	sawExtra := false
 	for _, e := range fig.Trace.Events {
 		a.Handle(e)
@@ -228,7 +228,7 @@ func TestNamesAndAccessors(t *testing.T) {
 	for rel, want := range map[analysis.Relation]string{
 		analysis.WCP: "ST-WCP", analysis.DC: "ST-DC", analysis.WDC: "ST-WDC",
 	} {
-		a := New(rel, tr)
+		a := New(rel, analysis.SpecOf(tr))
 		if a.Name() != want {
 			t.Errorf("Name = %q", a.Name())
 		}

@@ -28,11 +28,12 @@ type Analysis struct {
 	idx  int32
 }
 
-// New builds an FT2 analysis for tr's id spaces.
-func New(tr *trace.Trace) *Analysis {
+// New builds an FT2 analysis from capacity hints; state grows on demand as
+// new ids appear in the stream.
+func New(spec analysis.Spec) *Analysis {
 	return &Analysis{
-		s:    analysis.NewSyncState(analysis.HB, tr),
-		vars: make([]varState, tr.Vars),
+		s:    analysis.NewSyncState(analysis.HB, spec),
+		vars: make([]varState, spec.Vars),
 		col:  report.NewCollector(),
 	}
 }
@@ -48,6 +49,7 @@ func (a *Analysis) Handle(e trace.Event) {
 	idx := a.idx
 	a.idx++
 	t := e.T
+	a.s.Ensure(t)
 	switch e.Op {
 	case trace.OpRead:
 		a.read(t, e.Targ, e.Loc, idx)
@@ -68,6 +70,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	tt := vc.Tid(t)
 	c := p.Get(tt)
 	cur := vc.E(tt, c)
+	analysis.EnsureLen(&a.vars, int(x)+1)
 	v := &a.vars[x]
 	if v.rvc == nil && v.r == cur {
 		return // [Read Same Epoch]
@@ -96,6 +99,7 @@ func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	tt := vc.Tid(t)
 	c := p.Get(tt)
 	cur := vc.E(tt, c)
+	analysis.EnsureLen(&a.vars, int(x)+1)
 	v := &a.vars[x]
 	if v.w == cur {
 		return // [Write Same Epoch]
@@ -140,5 +144,5 @@ func (a *Analysis) MetadataWeight() int {
 
 func init() {
 	analysis.Register(analysis.HB, analysis.FT2, "FT2",
-		func(tr *trace.Trace) analysis.Analysis { return New(tr) })
+		func(spec analysis.Spec) analysis.Analysis { return New(spec) })
 }

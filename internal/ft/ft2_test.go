@@ -3,11 +3,12 @@ package ft
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/trace"
 )
 
 func run(tr *trace.Trace) *Analysis {
-	a := New(tr)
+	a := New(analysis.SpecOf(tr))
 	for _, e := range tr.Events {
 		a.Handle(e)
 	}
@@ -134,7 +135,7 @@ func TestMetadataWeight(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
-	if New(&trace.Trace{Threads: 1}).Name() != "FT2" {
+	if New(analysis.Spec{Threads: 1}).Name() != "FT2" {
 		t.Error("name")
 	}
 }

@@ -61,18 +61,19 @@ type Analysis struct {
 	idx  int32
 }
 
-// New builds an FTO analysis for relation rel over tr's id spaces.
-func New(rel analysis.Relation, tr *trace.Trace) *Analysis {
+// New builds an FTO analysis for relation rel from capacity hints; state
+// grows on demand as new ids appear in the stream.
+func New(rel analysis.Relation, spec analysis.Spec) *Analysis {
 	a := &Analysis{
 		rel:  rel,
-		s:    analysis.NewSyncState(rel, tr),
-		vars: make([]varState, tr.Vars),
+		s:    analysis.NewSyncState(rel, spec),
+		vars: make([]varState, spec.Vars),
 		col:  report.NewCollector(),
 	}
 	if rel != analysis.HB {
-		a.lt = ccs.NewLockTables(tr, true) // FTO: Lr/Rm represent reads and writes
+		a.lt = ccs.NewLockTables(spec, true) // FTO: Lr/Rm represent reads and writes
 		if rel != analysis.WDC {
-			a.rb = ccs.NewRuleB(rel, tr, false)
+			a.rb = ccs.NewRuleB(rel, spec, false)
 		}
 	}
 	return a
@@ -92,6 +93,7 @@ func (a *Analysis) Handle(e trace.Event) {
 	idx := a.idx
 	a.idx++
 	t := e.T
+	a.s.Ensure(t)
 	switch e.Op {
 	case trace.OpRead:
 		a.read(t, e.Targ, e.Loc, idx)
@@ -137,6 +139,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	tt := vc.Tid(t)
 	c := p.Get(tt)
 	cur := vc.E(tt, c)
+	analysis.EnsureLen(&a.vars, int(x)+1)
 	v := &a.vars[x]
 	if v.rvc == nil && v.r == cur {
 		return // [Read Same Epoch]
@@ -185,6 +188,7 @@ func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	tt := vc.Tid(t)
 	c := p.Get(tt)
 	cur := vc.E(tt, c)
+	analysis.EnsureLen(&a.vars, int(x)+1)
 	v := &a.vars[x]
 	if v.w == cur {
 		return // [Write Same Epoch]
@@ -235,6 +239,6 @@ func init() {
 	for _, rel := range analysis.Relations {
 		rel := rel
 		analysis.Register(rel, analysis.FTO, "FTO-"+rel.String(),
-			func(tr *trace.Trace) analysis.Analysis { return New(rel, tr) })
+			func(spec analysis.Spec) analysis.Analysis { return New(rel, spec) })
 	}
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func run(rel analysis.Relation, tr *trace.Trace) *Analysis {
-	a := New(rel, tr)
+	a := New(rel, analysis.SpecOf(tr))
 	for _, e := range tr.Events {
 		a.Handle(e)
 	}
@@ -166,7 +166,7 @@ func TestNames(t *testing.T) {
 		analysis.HB: "FTO-HB", analysis.WCP: "FTO-WCP",
 		analysis.DC: "FTO-DC", analysis.WDC: "FTO-WDC",
 	} {
-		if got := New(rel, tr).Name(); got != want {
+		if got := New(rel, analysis.SpecOf(tr)).Name(); got != want {
 			t.Errorf("Name = %q, want %q", got, want)
 		}
 	}

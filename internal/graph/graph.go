@@ -9,7 +9,9 @@ package graph
 
 import "sort"
 
-// Graph is an event constraint graph over a trace of N events.
+// Graph is an event constraint graph over a trace of N events. N grows as
+// events are observed, so a graph can be built over a stream whose length
+// is not known up front.
 type Graph struct {
 	N     int
 	edges [][2]int32
@@ -18,8 +20,19 @@ type Graph struct {
 	radj [][]int32
 }
 
-// New returns an empty graph over n events.
+// New returns an empty graph over n events (a capacity hint; Observe and
+// Edge extend N on demand).
 func New(n int) *Graph { return &Graph{N: n} }
+
+// Observe extends the graph's event space to cover index i. Streaming
+// analyses call it per event so that N always equals the number of events
+// processed, whether or not the event contributed an edge.
+func (g *Graph) Observe(i int32) {
+	if int(i) >= g.N {
+		g.N = int(i) + 1
+		g.adj, g.radj = nil, nil
+	}
+}
 
 // Edge records the constraint src before dst. It implements
 // analysis.Hook. Self and negative edges are ignored.
@@ -27,6 +40,8 @@ func (g *Graph) Edge(src, dst int32) {
 	if src < 0 || src == dst {
 		return
 	}
+	g.Observe(src)
+	g.Observe(dst)
 	g.edges = append(g.edges, [2]int32{src, dst})
 	g.adj, g.radj = nil, nil
 }
@@ -68,15 +83,23 @@ func sortDedup(s *[]int32) {
 	*s = out
 }
 
-// Succ returns the cross-thread successors of event i.
+// Succ returns the cross-thread successors of event i. Indices beyond the
+// observed event space have no edges.
 func (g *Graph) Succ(i int32) []int32 {
 	g.build()
+	if int(i) >= len(g.adj) {
+		return nil
+	}
 	return g.adj[i]
 }
 
-// Pred returns the cross-thread predecessors of event i.
+// Pred returns the cross-thread predecessors of event i. Indices beyond the
+// observed event space have no edges.
 func (g *Graph) Pred(i int32) []int32 {
 	g.build()
+	if int(i) >= len(g.radj) {
+		return nil
+	}
 	return g.radj[i]
 }
 

@@ -133,3 +133,89 @@ func MustCheck(tr *Trace) *Trace {
 	}
 	return tr
 }
+
+// Checker verifies well-formedness incrementally, one event at a time, for
+// streams whose length and id spaces are not known up front. It enforces
+// the same locking-discipline and thread-lifecycle rules as Check, with two
+// streaming adaptations: id ranges are unchecked (streams declare hints,
+// not bounds), and a thread is considered started at its first event — so
+// "ran before being forked" surfaces as an error at the later fork ("fork
+// of a thread that already ran") rather than at the early event.
+type Checker struct {
+	n          int
+	lockHolder map[uint32]int32 // lock -> holding thread; absent = free
+	running    map[Tid]bool     // threads that have executed an event
+	forked     map[Tid]bool     // threads created by a fork event
+	ended      map[Tid]bool     // threads that have been joined
+}
+
+// NewChecker returns a checker with no events observed.
+func NewChecker() *Checker {
+	return &Checker{
+		lockHolder: make(map[uint32]int32),
+		running:    make(map[Tid]bool),
+		forked:     make(map[Tid]bool),
+		ended:      make(map[Tid]bool),
+	}
+}
+
+// Checked returns the number of events stepped so far.
+func (c *Checker) Checked() int { return c.n }
+
+// Step checks the next event of the stream. The error, if any, is a
+// *CheckError carrying the event's stream index.
+func (c *Checker) Step(e Event) error {
+	i := c.n
+	fail := func(f string, args ...any) error {
+		return &CheckError{Index: i, Event: e, Msg: fmt.Sprintf(f, args...)}
+	}
+	if c.ended[e.T] {
+		return fail("thread ran after being joined")
+	}
+	switch e.Op {
+	case OpRead, OpWrite, OpVolatileRead, OpVolatileWrite, OpClassInit, OpClassAccess:
+		// No per-op state beyond marking the thread as running.
+	case OpAcquire:
+		if h, held := c.lockHolder[e.Targ]; held {
+			if h == int32(e.T) {
+				return fail("reentrant acquire (lock already held by this thread)")
+			}
+			return fail("lock already held by T%d", h)
+		}
+		c.lockHolder[e.Targ] = int32(e.T)
+	case OpRelease:
+		if h, held := c.lockHolder[e.Targ]; !held || h != int32(e.T) {
+			return fail("release of lock not held by this thread")
+		}
+		delete(c.lockHolder, e.Targ)
+	case OpFork:
+		ct := Tid(e.Targ)
+		if ct == e.T {
+			return fail("thread forks itself")
+		}
+		if c.forked[ct] {
+			return fail("thread T%d forked twice", ct)
+		}
+		if c.running[ct] || c.ended[ct] {
+			return fail("fork of thread T%d that already ran", ct)
+		}
+		c.forked[ct] = true
+	case OpJoin:
+		ct := Tid(e.Targ)
+		if ct == e.T {
+			return fail("thread joins itself")
+		}
+		if c.ended[ct] {
+			return fail("thread T%d joined twice", ct)
+		}
+		// A join target that never appeared is treated as a root thread
+		// that executed no events, matching Check's treatment of threads
+		// that are never fork targets.
+		c.ended[ct] = true
+	default:
+		return fail("unknown op")
+	}
+	c.running[e.T] = true
+	c.n++
+	return nil
+}

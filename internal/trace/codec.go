@@ -51,52 +51,69 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a trace in the binary format.
+// ReadBinary parses a trace in the binary format by draining a Decoder.
+// It accepts both exact-count traces (WriteBinary) and streamed traces
+// (Encoder), whose declared id spaces are hints widened to the observed
+// ids.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != binMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	hdr := make([]byte, 4*6+8)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	d := NewDecoder(r)
+	h, err := d.Header()
+	if err != nil {
+		return nil, err
 	}
 	tr := &Trace{
-		Threads:   int(binary.LittleEndian.Uint32(hdr[4:])),
-		Vars:      int(binary.LittleEndian.Uint32(hdr[8:])),
-		Locks:     int(binary.LittleEndian.Uint32(hdr[12:])),
-		Volatiles: int(binary.LittleEndian.Uint32(hdr[16:])),
-		Classes:   int(binary.LittleEndian.Uint32(hdr[20:])),
+		Threads:   h.Threads,
+		Vars:      h.Vars,
+		Locks:     h.Locks,
+		Volatiles: h.Volatiles,
+		Classes:   h.Classes,
 	}
-	n := binary.LittleEndian.Uint64(hdr[24:])
-	const maxEvents = 1 << 32
-	if n > maxEvents {
-		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	if h.Events != Unbounded {
+		const maxEvents = 1 << 32
+		if h.Events > maxEvents {
+			return nil, fmt.Errorf("trace: implausible event count %d", h.Events)
+		}
+		tr.Events = make([]Event, 0, h.Events)
 	}
-	tr.Events = make([]Event, n)
-	rec := make([]byte, recSize)
-	for i := range tr.Events {
-		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
 		}
-		tr.Events[i] = Event{
-			T:    Tid(binary.LittleEndian.Uint16(rec[0:])),
-			Op:   Op(rec[2]),
-			Targ: binary.LittleEndian.Uint32(rec[4:]),
-			Loc:  Loc(binary.LittleEndian.Uint32(rec[8:])),
+		if err != nil {
+			return nil, err
 		}
-		if tr.Events[i].Op >= numOps {
-			return nil, fmt.Errorf("trace: event %d has invalid op %d", i, rec[2])
-		}
+		tr.Events = append(tr.Events, e)
+	}
+	if h.Events == Unbounded {
+		widenSpaces(tr)
 	}
 	return tr, nil
+}
+
+// widenSpaces grows a trace's declared id spaces to cover every id its
+// events actually use (streamed headers carry hints, not bounds).
+func widenSpaces(tr *Trace) {
+	widen := func(n *int, id uint32) {
+		if int(id)+1 > *n {
+			*n = int(id) + 1
+		}
+	}
+	for _, e := range tr.Events {
+		widen(&tr.Threads, uint32(e.T))
+		switch e.Op {
+		case OpRead, OpWrite:
+			widen(&tr.Vars, e.Targ)
+		case OpAcquire, OpRelease:
+			widen(&tr.Locks, e.Targ)
+		case OpFork, OpJoin:
+			widen(&tr.Threads, e.Targ)
+		case OpVolatileRead, OpVolatileWrite:
+			widen(&tr.Volatiles, e.Targ)
+		case OpClassInit, OpClassAccess:
+			widen(&tr.Classes, e.Targ)
+		}
+	}
 }
 
 // WriteText writes a line-oriented human-readable form:
@@ -116,41 +133,30 @@ func WriteText(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// ReadText parses the line-oriented form produced by WriteText.
+// ReadText parses the line-oriented form produced by WriteText by draining
+// a TextDecoder.
 func ReadText(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("trace: empty input")
+	d := NewTextDecoder(r)
+	h, err := d.Header()
+	if err != nil {
+		return nil, err
 	}
-	tr := &Trace{}
-	if _, err := fmt.Sscanf(sc.Text(), "# threads=%d vars=%d locks=%d volatiles=%d classes=%d",
-		&tr.Threads, &tr.Vars, &tr.Locks, &tr.Volatiles, &tr.Classes); err != nil {
-		return nil, fmt.Errorf("trace: bad header %q: %w", sc.Text(), err)
+	tr := &Trace{
+		Threads:   h.Threads,
+		Vars:      h.Vars,
+		Locks:     h.Locks,
+		Volatiles: h.Volatiles,
+		Classes:   h.Classes,
 	}
-	opByName := make(map[string]Op, numOps)
-	for op := Op(0); op < numOps; op++ {
-		opByName[op.String()] = op
-	}
-	line := 1
-	for sc.Scan() {
-		line++
-		txt := sc.Text()
-		if txt == "" {
-			continue
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
 		}
-		var tid int
-		var opName string
-		var targ uint32
-		var loc uint32
-		if _, err := fmt.Sscanf(txt, "%d %s %d %d", &tid, &opName, &targ, &loc); err != nil {
-			return nil, fmt.Errorf("trace: line %d %q: %w", line, txt, err)
+		if err != nil {
+			return nil, err
 		}
-		op, ok := opByName[opName]
-		if !ok {
-			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, opName)
-		}
-		tr.Events = append(tr.Events, Event{T: Tid(tid), Op: op, Targ: targ, Loc: Loc(loc)})
+		tr.Events = append(tr.Events, e)
 	}
-	return tr, sc.Err()
+	return tr, nil
 }

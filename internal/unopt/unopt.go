@@ -28,12 +28,13 @@ type HBAnalysis struct {
 	idx    int32
 }
 
-// NewHB builds an unoptimized HB analysis for tr's id spaces.
-func NewHB(tr *trace.Trace) *HBAnalysis {
+// NewHB builds an unoptimized HB analysis from capacity hints; state grows
+// on demand as new ids appear in the stream.
+func NewHB(spec analysis.Spec) *HBAnalysis {
 	return &HBAnalysis{
-		s:   analysis.NewSyncState(analysis.HB, tr),
-		rx:  make([]*vc.VC, tr.Vars),
-		wx:  make([]*vc.VC, tr.Vars),
+		s:   analysis.NewSyncState(analysis.HB, spec),
+		rx:  make([]*vc.VC, spec.Vars),
+		wx:  make([]*vc.VC, spec.Vars),
 		col: report.NewCollector(),
 	}
 }
@@ -49,6 +50,7 @@ func (a *HBAnalysis) Handle(e trace.Event) {
 	idx := a.idx
 	a.idx++
 	t := e.T
+	a.s.Ensure(t)
 	switch e.Op {
 	case trace.OpRead:
 		a.read(t, e.Targ, e.Loc, idx)
@@ -67,6 +69,8 @@ func (a *HBAnalysis) Handle(e trace.Event) {
 func (a *HBAnalysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	p := a.s.P[t]
 	c := p.Get(vc.Tid(t))
+	analysis.EnsureLen(&a.rx, int(x)+1)
+	analysis.EnsureLen(&a.wx, int(x)+1)
 	rx := a.rx[x]
 	if rx != nil && rx.Get(vc.Tid(t)) == c {
 		return // t already read x in this epoch
@@ -84,6 +88,8 @@ func (a *HBAnalysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 func (a *HBAnalysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	p := a.s.P[t]
 	c := p.Get(vc.Tid(t))
+	analysis.EnsureLen(&a.rx, int(x)+1)
+	analysis.EnsureLen(&a.wx, int(x)+1)
 	wx := a.wx[x]
 	if wx != nil && wx.Get(vc.Tid(t)) == c {
 		return // t already wrote x in this epoch
@@ -154,27 +160,29 @@ type Predictive struct {
 }
 
 // NewPredictive builds an unoptimized predictive analysis for relation rel
-// (WCP, DC, or WDC). If buildGraph is set, the analysis also constructs the
-// event constraint graph used by vindication (the "w/G" configurations).
-func NewPredictive(rel analysis.Relation, tr *trace.Trace, buildGraph bool) *Predictive {
+// (WCP, DC, or WDC) from capacity hints; state grows on demand as new ids
+// appear in the stream. If buildGraph is set, the analysis also constructs
+// the event constraint graph used by vindication (the "w/G"
+// configurations).
+func NewPredictive(rel analysis.Relation, spec analysis.Spec, buildGraph bool) *Predictive {
 	if rel == analysis.HB {
 		panic("unopt: use NewHB for HB analysis")
 	}
 	a := &Predictive{
 		rel: rel,
-		s:   analysis.NewSyncState(rel, tr),
-		lt:  ccs.NewLockTables(tr, false),
+		s:   analysis.NewSyncState(rel, spec),
+		lt:  ccs.NewLockTables(spec, false),
 		col: report.NewCollector(),
-		rx:  make([]*vc.VC, tr.Vars),
-		wx:  make([]*vc.VC, tr.Vars),
+		rx:  make([]*vc.VC, spec.Vars),
+		wx:  make([]*vc.VC, spec.Vars),
 	}
 	if rel != analysis.WDC {
-		a.rb = ccs.NewRuleB(rel, tr, false)
+		a.rb = ccs.NewRuleB(rel, spec, false)
 	}
 	if buildGraph {
-		a.g = graph.New(tr.Len())
-		a.s.SetHook(a.g, tr)
-		a.lastWrIdx = make([]int32, tr.Vars)
+		a.g = graph.New(spec.Events)
+		a.s.SetHook(a.g, spec)
+		a.lastWrIdx = make([]int32, spec.Vars)
 		for i := range a.lastWrIdx {
 			a.lastWrIdx[i] = -1
 		}
@@ -208,6 +216,10 @@ func (a *Predictive) Handle(e trace.Event) {
 	idx := a.idx
 	a.idx++
 	t := e.T
+	a.s.Ensure(t)
+	if a.g != nil {
+		a.g.Observe(idx)
+	}
 	a.s.OnEvent(t, idx)
 	switch e.Op {
 	case trace.OpRead:
@@ -231,6 +243,15 @@ func (a *Predictive) Handle(e trace.Event) {
 	}
 }
 
+// growVars extends the per-variable tables to cover variable ids < n.
+func (a *Predictive) growVars(n int) {
+	analysis.EnsureLen(&a.rx, n)
+	analysis.EnsureLen(&a.wx, n)
+	if a.g != nil {
+		analysis.GrowNeg(&a.lastWrIdx, n)
+	}
+}
+
 // releaseTime is the clock stored into rule (a) tables at a release: the HB
 // clock for WCP (so that joins left-compose WCP edges with HB), the
 // relation clock itself for DC and WDC.
@@ -244,6 +265,7 @@ func (a *Predictive) releaseTime(t trace.Tid) *vc.VC {
 func (a *Predictive) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	p := a.s.P[t]
 	c := p.Get(vc.Tid(t))
+	a.growVars(int(x) + 1)
 	rx := a.rx[x]
 	if rx != nil && rx.Get(vc.Tid(t)) == c {
 		return
@@ -269,6 +291,7 @@ func (a *Predictive) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 func (a *Predictive) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	p := a.s.P[t]
 	c := p.Get(vc.Tid(t))
+	a.growVars(int(x) + 1)
 	wx := a.wx[x]
 	if wx != nil && wx.Get(vc.Tid(t)) == c {
 		return
@@ -325,12 +348,12 @@ func (a *Predictive) MetadataWeight() int {
 
 func init() {
 	analysis.Register(analysis.HB, analysis.Unopt, "Unopt-HB",
-		func(tr *trace.Trace) analysis.Analysis { return NewHB(tr) })
+		func(spec analysis.Spec) analysis.Analysis { return NewHB(spec) })
 	for _, rel := range []analysis.Relation{analysis.WCP, analysis.DC, analysis.WDC} {
 		rel := rel
 		analysis.Register(rel, analysis.Unopt, "Unopt-"+rel.String(),
-			func(tr *trace.Trace) analysis.Analysis { return NewPredictive(rel, tr, false) })
+			func(spec analysis.Spec) analysis.Analysis { return NewPredictive(rel, spec, false) })
 		analysis.Register(rel, analysis.UnoptG, "Unopt-"+rel.String()+" w/G",
-			func(tr *trace.Trace) analysis.Analysis { return NewPredictive(rel, tr, true) })
+			func(spec analysis.Spec) analysis.Analysis { return NewPredictive(rel, spec, true) })
 	}
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func runHB(tr *trace.Trace) *HBAnalysis {
-	a := NewHB(tr)
+	a := NewHB(analysis.SpecOf(tr))
 	for _, e := range tr.Events {
 		a.Handle(e)
 	}
@@ -17,7 +17,7 @@ func runHB(tr *trace.Trace) *HBAnalysis {
 }
 
 func runPred(rel analysis.Relation, tr *trace.Trace, g bool) *Predictive {
-	a := NewPredictive(rel, tr, g)
+	a := NewPredictive(rel, analysis.SpecOf(tr), g)
 	for _, e := range tr.Events {
 		a.Handle(e)
 	}
@@ -69,15 +69,15 @@ func TestNewPredictiveRejectsHB(t *testing.T) {
 			t.Error("HB must be rejected")
 		}
 	}()
-	NewPredictive(analysis.HB, &trace.Trace{Threads: 1}, false)
+	NewPredictive(analysis.HB, analysis.Spec{Threads: 1}, false)
 }
 
 func TestPredictiveNames(t *testing.T) {
 	tr := &trace.Trace{Threads: 1}
-	if NewPredictive(analysis.DC, tr, false).Name() != "Unopt-DC" {
+	if NewPredictive(analysis.DC, analysis.SpecOf(tr), false).Name() != "Unopt-DC" {
 		t.Error("name w/o G")
 	}
-	if NewPredictive(analysis.DC, tr, true).Name() != "Unopt-DC w/G" {
+	if NewPredictive(analysis.DC, analysis.SpecOf(tr), true).Name() != "Unopt-DC w/G" {
 		t.Error("name w/G")
 	}
 }

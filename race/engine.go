@@ -1,0 +1,406 @@
+package race
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
+	"repro/internal/unopt"
+	"repro/internal/vindicate"
+)
+
+// Cell names one cell of the paper's Table 1: a relation at an
+// optimization level.
+type Cell struct {
+	Relation Relation
+	Level    Level
+}
+
+func (c Cell) String() string { return fmt.Sprintf("%v/%v", c.Relation, c.Level) }
+
+// CapacityHints pre-sizes detector state tables. Every field is a hint,
+// never a bound: detectors grow on demand as new ids appear, so the zero
+// value is always valid.
+type CapacityHints struct {
+	Threads   int
+	Vars      int
+	Locks     int
+	Volatiles int
+	Classes   int
+	// Events hints the stream length (constraint-graph pre-sizing).
+	Events int
+}
+
+// HintsOf derives exact capacity hints from a complete trace.
+func HintsOf(tr *Trace) CapacityHints {
+	return CapacityHints{
+		Threads:   tr.Threads,
+		Vars:      tr.Vars,
+		Locks:     tr.Locks,
+		Volatiles: tr.Volatiles,
+		Classes:   tr.Classes,
+		Events:    tr.Len(),
+	}
+}
+
+func (h CapacityHints) spec() analysis.Spec {
+	return analysis.Spec{
+		Threads:   h.Threads,
+		Vars:      h.Vars,
+		Locks:     h.Locks,
+		Volatiles: h.Volatiles,
+		Classes:   h.Classes,
+		Events:    h.Events,
+	}
+}
+
+// engineConfig collects the functional options of NewEngine.
+type engineConfig struct {
+	rel       Relation
+	relSet    bool
+	lvl       Level
+	lvlSet    bool
+	cells     []Cell
+	names     []string
+	vindicate bool
+	onRace    func(RaceInfo)
+	hints     CapacityHints
+	unchecked bool
+}
+
+// Option configures an Engine.
+type Option func(*engineConfig)
+
+// WithRelation selects the relation of the engine's default analysis
+// (combined with WithLevel). Without any analysis options the engine runs
+// SmartTrack-WDC, the paper's recommended configuration.
+func WithRelation(rel Relation) Option {
+	return func(c *engineConfig) { c.rel, c.relSet = rel, true }
+}
+
+// WithLevel selects the optimization level of the engine's default
+// analysis (combined with WithRelation).
+func WithLevel(lvl Level) Option {
+	return func(c *engineConfig) { c.lvl, c.lvlSet = lvl, true }
+}
+
+// WithAnalyses adds Table 1 cells to the engine's fan-out: every listed
+// analysis consumes the event stream in the same single pass, the way
+// RoadRunner runs the paper's full analysis matrix over one execution.
+func WithAnalyses(cells ...Cell) Option {
+	return func(c *engineConfig) { c.cells = append(c.cells, cells...) }
+}
+
+// WithAnalysisNames adds analyses to the fan-out by display name (see
+// Detectors), e.g. "ST-DC" or "FTO-HB".
+func WithAnalysisNames(names ...string) Option {
+	return func(c *engineConfig) { c.names = append(c.names, names...) }
+}
+
+// WithVindication makes Close vindicate the detected races: the engine
+// retains the event stream, replays it under an unoptimized graph-building
+// WDC analysis (§4.3's record & replay split), and attempts a witness
+// reordering for the first race at each racing program location. Retaining
+// the stream costs memory proportional to its length.
+func WithVindication() Option {
+	return func(c *engineConfig) { c.vindicate = true }
+}
+
+// WithOnRace installs an online race callback, invoked during Feed as
+// detections happen — the paper's "detect races during the analyzed
+// execution" shape. The callback runs synchronously on the feeding
+// goroutine; it must not call back into the engine.
+func WithOnRace(fn func(RaceInfo)) Option {
+	return func(c *engineConfig) { c.onRace = fn }
+}
+
+// WithCapacityHints pre-sizes detector state for the expected id spaces.
+func WithCapacityHints(h CapacityHints) Option {
+	return func(c *engineConfig) { c.hints = h }
+}
+
+// WithUncheckedInput disables the engine's incremental well-formedness
+// checking, for callers that have already validated the stream (e.g. a
+// replay of a checked trace) and want the last few ns/event back.
+func WithUncheckedInput() Option {
+	return func(c *engineConfig) { c.unchecked = true }
+}
+
+// engineDet is one detector of the fan-out plus its race-delivery cursor.
+type engineDet struct {
+	entry analysis.Entry
+	a     analysis.Analysis
+	seen  int // races already delivered to the OnRace callback
+}
+
+// Engine is a streaming, multi-analysis race detection engine: the public
+// API's embodiment of the paper's online analyses. An engine is constructed
+// before any events exist, consumes an event stream incrementally through
+// Feed (or FeedTrace / FeedSource), runs every configured analysis in one
+// pass, reports races online through the optional OnRace callback, and
+// produces a final Report at Close.
+//
+// An Engine is not safe for concurrent use; callers (such as Runtime)
+// serialize Feed calls. After an error from Feed the engine is poisoned:
+// subsequent Feed and Close calls return the same error.
+type Engine struct {
+	dets   []engineDet
+	chk    *trace.Checker
+	onRace func(RaceInfo)
+
+	keep   bool // retain events for vindication at Close
+	events []Event
+
+	// Observed id-space sizes (max id + 1), maintained per event so a
+	// retained stream can be rebuilt into a well-declared Trace.
+	threads, vars, locks, vols, classes int
+
+	fed    int
+	err    error
+	closed bool
+}
+
+// NewEngine builds a streaming engine from functional options. It returns
+// an error — not a panic — for unknown analysis names, Table 1 cells the
+// paper marks N/A, and an empty fan-out.
+func NewEngine(opts ...Option) (*Engine, error) {
+	cfg := &engineConfig{}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	cells := cfg.cells
+	for _, name := range cfg.names {
+		entry, ok := analysis.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("race: unknown analysis %q (see Detectors())", name)
+		}
+		cells = append(cells, Cell{entry.Relation, entry.Level})
+	}
+	if cfg.relSet || cfg.lvlSet || len(cells) == 0 {
+		rel, lvl := WDC, SmartTrack
+		if cfg.relSet {
+			rel = cfg.rel
+		}
+		if cfg.lvlSet {
+			lvl = cfg.lvl
+		} else if rel == HB {
+			lvl = FTO // SmartTrack-HB is N/A; FTO-HB is the paper's HB baseline
+		}
+		cells = append([]Cell{{rel, lvl}}, cells...)
+	}
+	e := &Engine{onRace: cfg.onRace, keep: cfg.vindicate}
+	if !cfg.unchecked {
+		e.chk = trace.NewChecker()
+	}
+	spec := cfg.hints.spec()
+	seen := make(map[Cell]bool, len(cells))
+	for _, cell := range cells {
+		if seen[cell] {
+			continue
+		}
+		seen[cell] = true
+		entry, ok := analysis.Lookup(cell.Relation, cell.Level)
+		if !ok {
+			return nil, fmt.Errorf("race: no %v analysis at level %v (N/A in Table 1)", cell.Relation, cell.Level)
+		}
+		e.dets = append(e.dets, engineDet{entry: entry, a: entry.New(spec)})
+	}
+	return e, nil
+}
+
+// Detectors lists the names of the engine's configured analyses, in
+// fan-out order.
+func (e *Engine) Detectors() []string {
+	out := make([]string, len(e.dets))
+	for i := range e.dets {
+		out[i] = e.dets[i].entry.Name
+	}
+	return out
+}
+
+// Fed returns the number of events consumed so far.
+func (e *Engine) Fed() int { return e.fed }
+
+// observe widens the engine's view of the id spaces with one event.
+func (e *Engine) observe(ev Event) {
+	widen := func(n *int, id int) {
+		if id+1 > *n {
+			*n = id + 1
+		}
+	}
+	widen(&e.threads, int(ev.T))
+	switch ev.Op {
+	case trace.OpRead, trace.OpWrite:
+		widen(&e.vars, int(ev.Targ))
+	case trace.OpAcquire, trace.OpRelease:
+		widen(&e.locks, int(ev.Targ))
+	case trace.OpFork, trace.OpJoin:
+		widen(&e.threads, int(ev.Targ))
+	case trace.OpVolatileRead, trace.OpVolatileWrite:
+		widen(&e.vols, int(ev.Targ))
+	case trace.OpClassInit, trace.OpClassAccess:
+		widen(&e.classes, int(ev.Targ))
+	}
+}
+
+// Feed consumes the next event of the stream, running every configured
+// analysis on it. Ill-formed input (per the incremental well-formedness
+// rules) returns an error and poisons the engine.
+func (e *Engine) Feed(ev Event) error {
+	if e.closed {
+		return errors.New("race: Feed on closed engine")
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.chk != nil {
+		if err := e.chk.Step(ev); err != nil {
+			e.err = fmt.Errorf("race: ill-formed event stream: %w", err)
+			return e.err
+		}
+	}
+	e.observe(ev)
+	for i := range e.dets {
+		d := &e.dets[i]
+		d.a.Handle(ev)
+		if e.onRace != nil {
+			races := d.a.Races().Races()
+			for ; d.seen < len(races); d.seen++ {
+				rc := races[d.seen]
+				e.onRace(RaceInfo{
+					Analysis: d.entry.Name,
+					Var:      rc.Var,
+					Loc:      uint32(rc.Loc),
+					Index:    rc.Index,
+					Write:    rc.Write,
+				})
+			}
+		}
+	}
+	if e.keep {
+		e.events = append(e.events, ev)
+	}
+	e.fed++
+	return nil
+}
+
+// FeedTrace streams a complete trace through the engine. The trace's
+// declared id spaces widen the engine's capacity view up front; the events
+// then flow through Feed one by one, exactly as they would from a live
+// source.
+func (e *Engine) FeedTrace(tr *Trace) error {
+	if tr == nil {
+		return errors.New("race: FeedTrace of nil trace")
+	}
+	e.threads = max(e.threads, tr.Threads)
+	e.vars = max(e.vars, tr.Vars)
+	e.locks = max(e.locks, tr.Locks)
+	e.vols = max(e.vols, tr.Volatiles)
+	e.classes = max(e.classes, tr.Classes)
+	for _, ev := range tr.Events {
+		if err := e.Feed(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EventSource is a stream of events ending with io.EOF — implemented by
+// the streaming trace decoders (NewTraceDecoder, NewTextTraceDecoder).
+type EventSource interface {
+	Next() (Event, error)
+}
+
+// FeedSource drains an EventSource into the engine, so arbitrarily large
+// trace files pipe through without being materialized.
+func (e *Engine) FeedSource(src EventSource) error {
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := e.Feed(ev); err != nil {
+			return err
+		}
+	}
+}
+
+// bufferedTrace rebuilds a Trace from the retained stream, declared over
+// the observed id spaces.
+func (e *Engine) bufferedTrace() *Trace {
+	return &Trace{
+		Events:    e.events,
+		Threads:   e.threads,
+		Vars:      e.vars,
+		Locks:     e.locks,
+		Volatiles: e.vols,
+		Classes:   e.classes,
+	}
+}
+
+// Close finalizes the stream and returns the engine's report. With a
+// multi-analysis fan-out the report's top-level counts are the first
+// analysis's; Analyses and ByAnalysis expose the rest. With WithVindication
+// the report also carries a vindication verdict for the first race at each
+// racing program location.
+func (e *Engine) Close() (*Report, error) {
+	if e.closed {
+		return nil, errors.New("race: engine already closed")
+	}
+	e.closed = true
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(e.dets) == 0 {
+		return nil, errors.New("race: engine has no analyses")
+	}
+	subs := make([]*Report, len(e.dets))
+	for i := range e.dets {
+		subs[i] = &Report{name: e.dets[i].entry.Name, col: e.dets[i].a.Races()}
+	}
+	rep := &Report{name: subs[0].name, col: subs[0].col, subs: subs}
+	if e.keep {
+		rep.vind = e.vindicateAll(subs)
+		for _, sub := range subs {
+			sub.vind = rep.vind
+		}
+	}
+	return rep, nil
+}
+
+// vindicateAll replays the retained stream under an unoptimized
+// graph-building WDC analysis and vindicates the first race at each racing
+// program location of every sub-report, keyed by detecting-event index.
+func (e *Engine) vindicateAll(subs []*Report) map[int]VindicationResult {
+	tr := e.bufferedTrace()
+	a := unopt.NewPredictive(analysis.WDC, analysis.SpecOf(tr), true)
+	for _, ev := range tr.Events {
+		a.Handle(ev)
+	}
+	g := a.Graph()
+	out := make(map[int]VindicationResult)
+	seenLoc := make(map[uint32]bool)
+	for _, sub := range subs {
+		for _, rc := range sub.col.Races() {
+			if seenLoc[uint32(rc.Loc)] {
+				continue
+			}
+			seenLoc[uint32(rc.Loc)] = true
+			if _, done := out[rc.Index]; done {
+				continue
+			}
+			res := vindicate.Race(tr, g, rc.Index, vindicate.Options{})
+			out[rc.Index] = VindicationResult{
+				Vindicated: res.Vindicated,
+				Witness:    res.Witness,
+				Reason:     res.Reason,
+			}
+		}
+	}
+	return out
+}

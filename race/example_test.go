@@ -17,9 +17,45 @@ func ExampleAnalyze() {
 	b.Write("T2", "x")
 	tr := b.Build()
 
-	fmt.Println("FTO-HB:", race.Analyze(tr, race.HB, race.FTO).Dynamic())
-	fmt.Println("ST-WDC:", race.Analyze(tr, race.WDC, race.SmartTrack).Dynamic())
+	hb, _ := race.Analyze(tr, race.HB, race.FTO)
+	st, _ := race.Analyze(tr, race.WDC, race.SmartTrack)
+	fmt.Println("FTO-HB:", hb.Dynamic())
+	fmt.Println("ST-WDC:", st.Dynamic())
 	// Output:
+	// FTO-HB: 0
+	// ST-WDC: 1
+}
+
+// ExampleEngine streams Figure 1 through a multi-analysis engine one event
+// at a time — the detectors exist before any events do, and the race is
+// reported online at the detecting access.
+func ExampleEngine() {
+	b := race.NewBuilder()
+	b.Read("T1", "x")
+	b.Acq("T1", "m").Write("T1", "y").Rel("T1", "m")
+	b.Acq("T2", "m").Read("T2", "z").Rel("T2", "m")
+	b.Write("T2", "x")
+	tr := b.Build()
+
+	eng, _ := race.NewEngine(
+		race.WithAnalyses(
+			race.Cell{Relation: race.HB, Level: race.FTO},
+			race.Cell{Relation: race.WDC, Level: race.SmartTrack},
+		),
+		race.WithOnRace(func(r race.RaceInfo) {
+			fmt.Printf("online: %s at event %d\n", r.Analysis, r.Index)
+		}),
+	)
+	for _, e := range tr.Events {
+		eng.Feed(e)
+	}
+	rep, _ := eng.Close()
+	for _, name := range rep.Analyses() {
+		sub, _ := rep.ByAnalysis(name)
+		fmt.Printf("%s: %d\n", name, sub.Dynamic())
+	}
+	// Output:
+	// online: ST-WDC at event 7
 	// FTO-HB: 0
 	// ST-WDC: 1
 }
@@ -34,8 +70,8 @@ func ExampleVindicate() {
 	b.Write("T2", "x")
 	tr := b.Build()
 
-	rep := race.Analyze(tr, race.DC, race.SmartTrack)
-	res := race.Vindicate(tr, rep.Races()[0].Index)
+	rep, _ := race.Analyze(tr, race.DC, race.SmartTrack)
+	res, _ := race.Vindicate(tr, rep.Races()[0].Index)
 	fmt.Println("vindicated:", res.Vindicated)
 	fmt.Println("witness ends with the racing pair:",
 		res.Witness[len(res.Witness)-2].Op, res.Witness[len(res.Witness)-1].Op)

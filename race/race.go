@@ -6,24 +6,37 @@
 // evaluates — happens-before (FastTrack2, FTO-HB) and the predictive
 // relations WCP, DC, and WDC at three optimization levels (unoptimized
 // vector clocks, FTO epoch/ownership, and SmartTrack's conflicting-
-// critical-section optimizations) — over execution traces, plus:
+// critical-section optimizations) — as streaming, online detectors, plus:
 //
+//   - an Engine that consumes events as they happen, fans one stream out to
+//     many analyses in a single pass, and reports races online,
 //   - a Builder for constructing traces programmatically,
-//   - trace file I/O (binary and text),
-//   - a Runtime for recording events from live Go programs and analyzing
-//     them afterwards, and
+//   - streaming trace file I/O (binary and text),
+//   - a Runtime for recording events from live Go programs — and analyzing
+//     them while they run when an Engine is attached, and
 //   - vindication, which proves a reported race is a true predictable race
 //     by constructing a verified witness reordering.
 //
-// Quick start:
+// The streaming quick start — detectors exist before any events do:
+//
+//	eng, _ := race.NewEngine(race.WithRelation(race.WDC), race.WithLevel(race.SmartTrack))
+//	eng.Feed(race.Event{T: 0, Op: race.OpRead, Targ: 0})  // ... one event at a time
+//	report, _ := eng.Close()
+//
+// The batch quick start over a built trace:
 //
 //	b := race.NewBuilder()
 //	b.Read("T1", "x")
 //	b.Acq("T1", "m").Write("T1", "y").Rel("T1", "m")
 //	b.Acq("T2", "m").Read("T2", "z").Rel("T2", "m")
 //	b.Write("T2", "x")
-//	report := race.Analyze(b.Build(), race.WDC, race.SmartTrack)
+//	report, err := race.Analyze(b.Build(), race.WDC, race.SmartTrack)
+//	if err != nil { ... }
 //	fmt.Println(report.Dynamic()) // 1 — the predictable race HB misses
+//
+// No function in this package panics on user input: invalid analysis
+// configurations, ill-formed event streams, and out-of-range race indices
+// all surface as errors.
 package race
 
 import (
@@ -47,6 +60,24 @@ type Trace = trace.Trace
 
 // Event is one trace entry.
 type Event = trace.Event
+
+// Op is the kind of an event.
+type Op = trace.Op
+
+// Event kinds, re-exported for callers that construct Events directly
+// (engine feeding without a Builder or Runtime).
+const (
+	OpRead          = trace.OpRead
+	OpWrite         = trace.OpWrite
+	OpAcquire       = trace.OpAcquire
+	OpRelease       = trace.OpRelease
+	OpFork          = trace.OpFork
+	OpJoin          = trace.OpJoin
+	OpVolatileRead  = trace.OpVolatileRead
+	OpVolatileWrite = trace.OpVolatileWrite
+	OpClassInit     = trace.OpClassInit
+	OpClassAccess   = trace.OpClassAccess
+)
 
 // Builder constructs traces from named threads, variables, and locks.
 type Builder = trace.Builder
@@ -96,29 +127,60 @@ const (
 // Detector is a streaming race detection analysis.
 type Detector = analysis.Analysis
 
+// Caps describes a detector's capabilities (the registry's metadata).
+type Caps = analysis.Caps
+
+// DetectorInfo describes one registered analysis: its Table 1 cell and
+// capability metadata.
+type DetectorInfo struct {
+	Name     string
+	Relation Relation
+	Level    Level
+	Caps     Caps
+}
+
 // New builds a detector for the given relation and optimization level,
-// sized for the trace's id spaces. It returns an error for the Table 1
-// cells the paper marks N/A (e.g. SmartTrack-HB).
+// pre-sized for the trace's id spaces (the trace may be nil for a detector
+// that will discover its id spaces from the stream). It returns an error
+// for the Table 1 cells the paper marks N/A (e.g. SmartTrack-HB).
 func New(tr *Trace, rel Relation, lvl Level) (Detector, error) {
 	e, ok := analysis.Lookup(rel, lvl)
 	if !ok {
 		return nil, fmt.Errorf("race: no %v analysis at level %v (N/A in Table 1)", rel, lvl)
 	}
-	return e.New(tr), nil
+	var spec analysis.Spec
+	if tr != nil {
+		spec = analysis.SpecOf(tr)
+	}
+	return e.New(spec), nil
 }
 
 // Analyze runs the (rel, lvl) analysis over the whole trace and returns its
-// report. It panics only on invalid (rel, lvl) combinations; use New for
-// error handling.
-func Analyze(tr *Trace, rel Relation, lvl Level) *Report {
-	d, err := New(tr, rel, lvl)
+// report. It is a thin wrapper over the streaming Engine: the trace is fed
+// event by event, with incremental well-formedness checking. Invalid
+// (rel, lvl) combinations and ill-formed traces return errors.
+func Analyze(tr *Trace, rel Relation, lvl Level) (*Report, error) {
+	eng, err := NewEngine(WithRelation(rel), WithLevel(lvl), WithCapacityHints(HintsOf(tr)))
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	for _, e := range tr.Events {
-		d.Handle(e)
+	if err := eng.FeedTrace(tr); err != nil {
+		return nil, err
 	}
-	return &Report{col: d.Races(), tr: tr}
+	return eng.Close()
+}
+
+// AnalyzeByName runs a registered analysis by display name (e.g. "ST-DC"),
+// through the same engine path as Analyze.
+func AnalyzeByName(tr *Trace, name string) (*Report, error) {
+	eng, err := NewEngine(WithAnalysisNames(name), WithCapacityHints(HintsOf(tr)))
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.FeedTrace(tr); err != nil {
+		return nil, err
+	}
+	return eng.Close()
 }
 
 // Detectors lists the names of all available analyses.
@@ -130,35 +192,70 @@ func Detectors() []string {
 	return out
 }
 
-// AnalyzeByName runs a registered analysis by display name (e.g. "ST-DC").
-func AnalyzeByName(tr *Trace, name string) (*Report, error) {
-	e, ok := analysis.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("race: unknown analysis %q (see Detectors())", name)
+// DetectorTable lists every available analysis with its Table 1 cell and
+// capability metadata, in registration order.
+func DetectorTable() []DetectorInfo {
+	var out []DetectorInfo
+	for _, e := range analysis.All() {
+		out = append(out, DetectorInfo{Name: e.Name, Relation: e.Relation, Level: e.Level, Caps: e.Caps})
 	}
-	a := e.New(tr)
-	for _, ev := range tr.Events {
-		a.Handle(ev)
-	}
-	return &Report{col: a.Races(), tr: tr}, nil
+	return out
 }
 
 // RaceInfo describes one detected dynamic race.
 type RaceInfo struct {
+	// Analysis is the display name of the detecting analysis (set for
+	// engine callbacks; empty on single-analysis report listings).
+	Analysis string
 	// Var is the racing variable's id.
 	Var uint32
 	// Loc is the static program location of the detecting access.
 	Loc uint32
-	// Index is the trace index of the detecting access.
+	// Index is the stream index of the detecting access.
 	Index int
 	// Write reports whether the detecting access is a write.
 	Write bool
 }
 
-// Report summarizes an analysis run.
+// Report summarizes an analysis run. A report from a multi-analysis engine
+// carries one sub-report per analysis; the top-level counters delegate to
+// the first (primary) analysis.
 type Report struct {
-	col *report.Collector
-	tr  *Trace
+	name string
+	col  *report.Collector
+	subs []*Report
+	vind map[int]VindicationResult // by race index; non-nil iff vindication ran
+}
+
+// Analysis returns the display name of the report's (primary) analysis.
+func (r *Report) Analysis() string { return r.name }
+
+// Analyses lists the names of all analyses in the report, in fan-out order.
+func (r *Report) Analyses() []string {
+	if len(r.subs) == 0 {
+		return []string{r.name}
+	}
+	out := make([]string, len(r.subs))
+	for i, s := range r.subs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// ByAnalysis returns the sub-report of the named analysis.
+func (r *Report) ByAnalysis(name string) (*Report, bool) {
+	if len(r.subs) == 0 {
+		if name == r.name {
+			return r, true
+		}
+		return nil, false
+	}
+	for _, s := range r.subs {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return nil, false
 }
 
 // Dynamic returns the total number of dynamic races detected.
@@ -172,13 +269,22 @@ func (r *Report) Static() int { return r.col.Static() }
 func (r *Report) Races() []RaceInfo {
 	var out []RaceInfo
 	for _, rc := range r.col.Races() {
-		out = append(out, RaceInfo{Var: rc.Var, Loc: uint32(rc.Loc), Index: rc.Index, Write: rc.Write})
+		out = append(out, RaceInfo{Analysis: r.name, Var: rc.Var, Loc: uint32(rc.Loc), Index: rc.Index, Write: rc.Write})
 	}
 	return out
 }
 
 // RaceVars returns the racing variables, sorted.
 func (r *Report) RaceVars() []uint32 { return r.col.RaceVars() }
+
+// Vindication returns the vindication verdict recorded for the race
+// detected at stream index idx, if the report was produced by an engine
+// with WithVindication (verdicts cover the first race at each racing
+// program location).
+func (r *Report) Vindication(idx int) (VindicationResult, bool) {
+	res, ok := r.vind[idx]
+	return res, ok
+}
 
 // VindicationResult reports a witness-construction attempt.
 type VindicationResult struct {
@@ -191,18 +297,24 @@ type VindicationResult struct {
 	Reason string
 }
 
-// Vindicate checks whether the race detected at trace index (RaceInfo.Index)
-// is a true predictable race, by re-running an unoptimized WDC analysis
-// that builds the event constraint graph and then searching for a verified
+// Vindicate checks whether the race detected at trace index raceIndex is a
+// true predictable race, by re-running an unoptimized WDC analysis that
+// builds the event constraint graph and then searching for a verified
 // witness reordering (§4.3 of the paper: a recorded run using SmartTrack
 // can replay under a graph-building analysis to check its races).
-func Vindicate(tr *Trace, raceIndex int) VindicationResult {
-	a := unopt.NewPredictive(analysis.WDC, tr, true)
+func Vindicate(tr *Trace, raceIndex int) (VindicationResult, error) {
+	if tr == nil {
+		return VindicationResult{}, fmt.Errorf("race: Vindicate of nil trace")
+	}
+	if raceIndex < 0 || raceIndex >= tr.Len() {
+		return VindicationResult{}, fmt.Errorf("race: race index %d out of range (trace has %d events)", raceIndex, tr.Len())
+	}
+	a := unopt.NewPredictive(analysis.WDC, analysis.SpecOf(tr), true)
 	for _, e := range tr.Events {
 		a.Handle(e)
 	}
 	res := vindicate.Race(tr, a.Graph(), raceIndex, vindicate.Options{})
-	return VindicationResult{Vindicated: res.Vindicated, Witness: res.Witness, Reason: res.Reason}
+	return VindicationResult{Vindicated: res.Vindicated, Witness: res.Witness, Reason: res.Reason}, nil
 }
 
 // VerifyWitness independently checks a witness against the predicted-trace
@@ -222,3 +334,34 @@ func WriteTraceText(w io.Writer, tr *Trace) error { return trace.WriteText(w, tr
 
 // ReadTraceText parses a text trace.
 func ReadTraceText(r io.Reader) (*Trace, error) { return trace.ReadText(r) }
+
+// TraceDecoder streams a binary trace file one event at a time; it
+// implements EventSource for Engine.FeedSource, so arbitrarily large
+// traces flow through a detector without being materialized.
+type TraceDecoder = trace.Decoder
+
+// NewTraceDecoder returns a streaming decoder for the binary trace format.
+func NewTraceDecoder(r io.Reader) *TraceDecoder { return trace.NewDecoder(r) }
+
+// TextTraceDecoder streams a text trace file one event at a time.
+type TextTraceDecoder = trace.TextDecoder
+
+// NewTextTraceDecoder returns a streaming decoder for the text format.
+func NewTextTraceDecoder(r io.Reader) *TextTraceDecoder { return trace.NewTextDecoder(r) }
+
+// TraceEncoder streams events to a binary trace file as they are produced.
+type TraceEncoder = trace.Encoder
+
+// NewTraceEncoder returns a streaming encoder writing to w. The hints
+// pre-declare id-space sizes for downstream consumers (zero hints are
+// fine — streaming readers widen on demand). Call Close to flush.
+func NewTraceEncoder(w io.Writer, hints CapacityHints) *TraceEncoder {
+	return trace.NewEncoder(w, trace.Header{
+		Threads:   hints.Threads,
+		Vars:      hints.Vars,
+		Locks:     hints.Locks,
+		Volatiles: hints.Volatiles,
+		Classes:   hints.Classes,
+		Events:    trace.Unbounded,
+	})
+}

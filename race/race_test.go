@@ -17,15 +17,38 @@ func figure1() *race.Trace {
 	return b.Build()
 }
 
+func mustAnalyze(t *testing.T, tr *race.Trace, rel race.Relation, lvl race.Level) *race.Report {
+	t.Helper()
+	rep, err := race.Analyze(tr, rel, lvl)
+	if err != nil {
+		t.Fatalf("Analyze(%v, %v): %v", rel, lvl, err)
+	}
+	return rep
+}
+
 func TestAnalyzePredictiveVsHB(t *testing.T) {
 	tr := figure1()
-	if got := race.Analyze(tr, race.HB, race.FTO).Dynamic(); got != 0 {
+	if got := mustAnalyze(t, tr, race.HB, race.FTO).Dynamic(); got != 0 {
 		t.Errorf("HB races = %d, want 0", got)
 	}
 	for _, rel := range []race.Relation{race.WCP, race.DC, race.WDC} {
-		if got := race.Analyze(tr, rel, race.SmartTrack).Dynamic(); got != 1 {
+		if got := mustAnalyze(t, tr, rel, race.SmartTrack).Dynamic(); got != 1 {
 			t.Errorf("%v races = %d, want 1", rel, got)
 		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := race.Analyze(figure1(), race.HB, race.SmartTrack); err == nil {
+		t.Error("Analyze on an N/A cell must return an error, not panic")
+	}
+	// An ill-formed trace (release of a lock never acquired) errors too.
+	tr := &race.Trace{
+		Events:  []race.Event{{T: 0, Op: race.OpRelease, Targ: 0}},
+		Threads: 1, Locks: 1,
+	}
+	if _, err := race.Analyze(tr, race.WDC, race.SmartTrack); err == nil {
+		t.Error("Analyze on an ill-formed trace must return an error")
 	}
 }
 
@@ -53,7 +76,7 @@ func TestDetectorsAndByName(t *testing.T) {
 }
 
 func TestReportDetails(t *testing.T) {
-	rep := race.Analyze(figure1(), race.WDC, race.SmartTrack)
+	rep := mustAnalyze(t, figure1(), race.WDC, race.SmartTrack)
 	if rep.Static() != 1 {
 		t.Errorf("static = %d", rep.Static())
 	}
@@ -68,14 +91,20 @@ func TestReportDetails(t *testing.T) {
 
 func TestVindicateEndToEnd(t *testing.T) {
 	tr := figure1()
-	rep := race.Analyze(tr, race.WDC, race.Unopt)
+	rep := mustAnalyze(t, tr, race.WDC, race.Unopt)
 	races := rep.Races()
 	if len(races) == 0 {
 		t.Fatal("expected a race")
 	}
-	res := race.Vindicate(tr, races[0].Index)
+	res, err := race.Vindicate(tr, races[0].Index)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Vindicated {
 		t.Fatalf("vindication failed: %s", res.Reason)
+	}
+	if _, err := race.Vindicate(tr, tr.Len()+5); err == nil {
+		t.Error("out-of-range race index must return an error, not panic")
 	}
 	e2 := races[0].Index
 	// The witness's final event is the detecting access; locate e1 from the
@@ -202,14 +231,15 @@ func TestRuntimeSnapshotClosesOpenCS(t *testing.T) {
 	}
 }
 
-func TestRuntimeReleaseUnheldPanics(t *testing.T) {
+func TestRuntimeReleaseUnheldErrors(t *testing.T) {
 	rt := race.NewRuntime()
-	defer func() {
-		if recover() == nil {
-			t.Error("release of unheld lock must panic")
-		}
-	}()
-	rt.Release(rt.Main(), "m")
+	rt.Release(rt.Main(), "m") // must not panic
+	if rt.Err() == nil {
+		t.Error("release of unheld lock must record a runtime error")
+	}
+	if _, err := rt.Snapshot(); err == nil {
+		t.Error("Snapshot after a recording error must return it")
+	}
 }
 
 func TestRuntimeLocked(t *testing.T) {
@@ -263,9 +293,16 @@ func TestRuntimeSiteDedup(t *testing.T) {
 	rt := race.NewRuntime()
 	t1 := rt.Main()
 	t2 := rt.Go(t1)
+	// Each thread's volatile tick is a sequence point: it merges the
+	// thread's buffered accesses into the linearization (keeping the writes
+	// interleaved across threads) and advances its epoch (keeping repeated
+	// writes from coalescing under the same-epoch check). The per-thread
+	// tick variables are distinct, so no cross-thread ordering arises.
 	for i := 0; i < 3; i++ {
 		rt.Write(t1, "x") // one source line
+		rt.VolatileWrite(t1, "tick1")
 		rt.Write(t2, "x") // another source line
+		rt.VolatileWrite(t2, "tick2")
 	}
 	rep, err := rt.Analyze(race.WDC, race.SmartTrack)
 	if err != nil {

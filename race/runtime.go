@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -19,40 +20,108 @@ type Tid = trace.Tid
 // acquisitions the way RoadRunner does for Java monitors, and interns
 // arbitrary user keys (pointers, strings) as dense variable/lock ids.
 //
-// Analysis is record-then-analyze: call Snapshot or Analyze after the
-// recorded section completes. §4.3 of the paper argues for exactly this
-// record & replay split for the heavyweight passes; here we use it for all
-// of them, which also keeps recording overhead minimal.
+// Recording is buffered per thread: memory accesses append to the
+// recording thread's private buffer with no cross-thread contention, and
+// buffers merge into the global linearization only at sequence points —
+// synchronization operations (lock, fork/join, volatile), whose relative
+// order across threads is the only order the analyses depend on. Any
+// interleaving of the buffered accesses between two sequence points is a
+// legal linearization of the same execution, so the merged stream is
+// equivalent to the old globally-locked recording at a fraction of the
+// coordination cost.
+//
+// Analysis can run in either of the paper's two modes:
+//
+//   - Record & replay (§4.3): record, then call Snapshot or Analyze.
+//   - Online: attach a streaming Engine with WithEngineAttached; merged
+//     events feed the engine as they are committed, and Finish returns the
+//     engine's report — record-and-analyze in one pass.
+//
+// Each recorded thread's methods must be called from the single goroutine
+// registered for that Tid (the same contract instrumentation frameworks
+// impose); different threads' methods may run concurrently.
+//
+// Runtime methods do not panic on recording mistakes (such as releasing a
+// lock that is not held): the first such error is retained and returned by
+// Err, Snapshot, Analyze, and Finish.
 type Runtime struct {
+	internMu sync.Mutex
+	vars     map[any]uint32
+	locks    map[any]uint32
+	vols     map[any]uint32
+	locs     map[uintptr]trace.Loc
+
+	// mu guards stream, engine feeding, err, and thread creation.
 	mu     sync.Mutex
-	events []trace.Event
+	stream []trace.Event
+	engine *Engine
+	err    error
 
-	vars  map[any]uint32
-	locks map[any]uint32
-	vols  map[any]uint32
-	locs  map[uintptr]trace.Loc
+	threads atomic.Pointer[[]*threadState]
+}
 
-	threads   int
-	holdCount []map[uint32]int // reentrancy filtering per thread
+// threadState is one recorded thread's private recording state. Only the
+// thread's own goroutine and the merge points (Join, Snapshot, Finish)
+// touch it, under its mutex.
+type threadState struct {
+	mu        sync.Mutex
+	buf       []trace.Event
+	holdCount map[uint32]int // reentrancy filtering
+	heldOrder []uint32       // outermost-held locks in acquisition order
+}
+
+// RuntimeOption configures a Runtime.
+type RuntimeOption func(*Runtime)
+
+// WithEngineAttached feeds every committed event into eng as it is merged
+// into the linearization, giving record-and-analyze in one pass. Use
+// Finish to close open critical sections and obtain the engine's report.
+// The runtime serializes all feeding; the engine must not be fed from
+// anywhere else.
+func WithEngineAttached(eng *Engine) RuntimeOption {
+	return func(rt *Runtime) { rt.engine = eng }
 }
 
 // NewRuntime returns a recorder with the main goroutine registered as
 // thread 0.
-func NewRuntime() *Runtime {
-	return &Runtime{
-		vars:      make(map[any]uint32),
-		locks:     make(map[any]uint32),
-		vols:      make(map[any]uint32),
-		locs:      make(map[uintptr]trace.Loc),
-		threads:   1,
-		holdCount: []map[uint32]int{make(map[uint32]int)},
+func NewRuntime(opts ...RuntimeOption) *Runtime {
+	rt := &Runtime{
+		vars:  make(map[any]uint32),
+		locks: make(map[any]uint32),
+		vols:  make(map[any]uint32),
+		locs:  make(map[uintptr]trace.Loc),
 	}
+	ts := []*threadState{newThreadState()}
+	rt.threads.Store(&ts)
+	for _, opt := range opts {
+		opt(rt)
+	}
+	return rt
+}
+
+func newThreadState() *threadState {
+	return &threadState{holdCount: make(map[uint32]int)}
 }
 
 // Main returns the main goroutine's thread id (0).
 func (rt *Runtime) Main() Tid { return 0 }
 
+// Err returns the first recording error (e.g. release of an unheld lock,
+// or an attached engine rejecting the stream), or nil.
+func (rt *Runtime) Err() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err
+}
+
+func (rt *Runtime) thread(t Tid) *threadState {
+	ts := *rt.threads.Load()
+	return ts[t]
+}
+
 func (rt *Runtime) intern(m map[any]uint32, key any) uint32 {
+	rt.internMu.Lock()
+	defer rt.internMu.Unlock()
 	id, ok := m[key]
 	if !ok {
 		id = uint32(len(m))
@@ -68,6 +137,8 @@ func (rt *Runtime) site(skip int) trace.Loc {
 	if !ok {
 		return trace.NoLoc
 	}
+	rt.internMu.Lock()
+	defer rt.internMu.Unlock()
 	loc, seen := rt.locs[pc]
 	if !seen {
 		loc = trace.Loc(len(rt.locs) + 1)
@@ -76,138 +147,259 @@ func (rt *Runtime) site(skip int) trace.Loc {
 	return loc
 }
 
-func (rt *Runtime) emit(e trace.Event) {
-	rt.events = append(rt.events, e)
+// buffer appends an access event to t's private buffer (no global
+// coordination).
+func (rt *Runtime) buffer(ts *threadState, e trace.Event) {
+	ts.mu.Lock()
+	ts.buf = append(ts.buf, e)
+	ts.mu.Unlock()
+}
+
+// drain takes t's buffered events, leaving the buffer empty.
+func (ts *threadState) drain() []trace.Event {
+	ts.mu.Lock()
+	out := ts.buf
+	ts.buf = nil
+	ts.mu.Unlock()
+	return out
+}
+
+// commit merges pending event runs into the global linearization, feeding
+// an attached engine. Runs are appended in argument order.
+func (rt *Runtime) commit(runs ...[]trace.Event) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, run := range runs {
+		rt.stream = append(rt.stream, run...)
+		if rt.engine != nil && rt.err == nil {
+			for _, e := range run {
+				if err := rt.engine.Feed(e); err != nil {
+					rt.err = err
+					break
+				}
+			}
+		}
+	}
+}
+
+// syncPoint drains t's buffer, appends the synchronization event e, and
+// commits the run — the per-thread buffer merge at a sequence point.
+func (rt *Runtime) syncPoint(ts *threadState, e trace.Event) {
+	ts.mu.Lock()
+	run := append(ts.buf, e)
+	ts.buf = nil
+	ts.mu.Unlock()
+	rt.commit(run)
 }
 
 // Go registers a new goroutine forked by parent and returns its thread id.
 // Call it in the parent before starting the goroutine.
 func (rt *Runtime) Go(parent Tid) Tid {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	child := Tid(rt.threads)
-	rt.threads++
-	rt.holdCount = append(rt.holdCount, make(map[uint32]int))
-	rt.emit(trace.Event{T: parent, Op: trace.OpFork, Targ: uint32(child)})
+	cur := *rt.threads.Load()
+	child := Tid(len(cur))
+	next := make([]*threadState, len(cur)+1)
+	copy(next, cur)
+	next[child] = newThreadState()
+	rt.threads.Store(&next)
+	rt.mu.Unlock()
+
+	rt.syncPoint(rt.thread(parent), trace.Event{T: parent, Op: trace.OpFork, Targ: uint32(child)})
 	return child
 }
 
-// Join records that parent joined (awaited) child.
+// Join records that parent joined (awaited) child. The child goroutine
+// must have finished recording; its remaining buffered events merge before
+// the join event.
 func (rt *Runtime) Join(parent, child Tid) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.emit(trace.Event{T: parent, Op: trace.OpJoin, Targ: uint32(child)})
+	childRun := rt.thread(child).drain()
+	ts := rt.thread(parent)
+	ts.mu.Lock()
+	parentRun := append(ts.buf, trace.Event{T: parent, Op: trace.OpJoin, Targ: uint32(child)})
+	ts.buf = nil
+	ts.mu.Unlock()
+	rt.commit(childRun, parentRun)
 }
 
 // Read records a read of the variable identified by key.
 func (rt *Runtime) Read(t Tid, key any) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.emit(trace.Event{T: t, Op: trace.OpRead, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
+	rt.buffer(rt.thread(t), trace.Event{T: t, Op: trace.OpRead, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
 }
 
 // Write records a write of the variable identified by key.
 func (rt *Runtime) Write(t Tid, key any) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.emit(trace.Event{T: t, Op: trace.OpWrite, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
+	rt.buffer(rt.thread(t), trace.Event{T: t, Op: trace.OpWrite, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
 }
 
 // Acquire records a lock acquisition. Reentrant acquisitions are counted
 // and filtered: only the outermost acquisition emits an event.
 func (rt *Runtime) Acquire(t Tid, lock any) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	m := rt.intern(rt.locks, lock)
-	rt.holdCount[t][m]++
-	if rt.holdCount[t][m] == 1 {
-		rt.emit(trace.Event{T: t, Op: trace.OpAcquire, Targ: m})
+	ts := rt.thread(t)
+	ts.mu.Lock()
+	ts.holdCount[m]++
+	outermost := ts.holdCount[m] == 1
+	if outermost {
+		ts.heldOrder = append(ts.heldOrder, m)
+		run := append(ts.buf, trace.Event{T: t, Op: trace.OpAcquire, Targ: m})
+		ts.buf = nil
+		ts.mu.Unlock()
+		rt.commit(run)
+		return
 	}
+	ts.mu.Unlock()
 }
 
 // Release records a lock release; only the outermost release emits.
+// Releasing a lock the thread does not hold records a runtime error (see
+// Err) instead of panicking.
 func (rt *Runtime) Release(t Tid, lock any) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	m := rt.intern(rt.locks, lock)
-	if rt.holdCount[t][m] == 0 {
-		panic(fmt.Sprintf("race: thread %d releases lock it does not hold", t))
+	ts := rt.thread(t)
+	ts.mu.Lock()
+	if ts.holdCount[m] == 0 {
+		ts.mu.Unlock()
+		rt.fail(fmt.Errorf("race: thread %d releases lock it does not hold", t))
+		return
 	}
-	rt.holdCount[t][m]--
-	if rt.holdCount[t][m] == 0 {
-		rt.emit(trace.Event{T: t, Op: trace.OpRelease, Targ: m})
+	ts.holdCount[m]--
+	if ts.holdCount[m] == 0 {
+		for i := len(ts.heldOrder) - 1; i >= 0; i-- {
+			if ts.heldOrder[i] == m {
+				ts.heldOrder = append(ts.heldOrder[:i], ts.heldOrder[i+1:]...)
+				break
+			}
+		}
+		run := append(ts.buf, trace.Event{T: t, Op: trace.OpRelease, Targ: m})
+		ts.buf = nil
+		ts.mu.Unlock()
+		rt.commit(run)
+		return
 	}
+	ts.mu.Unlock()
+}
+
+func (rt *Runtime) fail(err error) {
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
 }
 
 // VolatileRead records an atomic/volatile load of key.
 func (rt *Runtime) VolatileRead(t Tid, key any) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.emit(trace.Event{T: t, Op: trace.OpVolatileRead, Targ: rt.intern(rt.vols, key)})
+	rt.syncPoint(rt.thread(t), trace.Event{T: t, Op: trace.OpVolatileRead, Targ: rt.intern(rt.vols, key)})
 }
 
 // VolatileWrite records an atomic/volatile store of key.
 func (rt *Runtime) VolatileWrite(t Tid, key any) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.emit(trace.Event{T: t, Op: trace.OpVolatileWrite, Targ: rt.intern(rt.vols, key)})
+	rt.syncPoint(rt.thread(t), trace.Event{T: t, Op: trace.OpVolatileWrite, Targ: rt.intern(rt.vols, key)})
+}
+
+// flushAll merges every thread's remaining buffer into the linearization,
+// in thread-id order, and returns the per-thread open-lock stacks observed
+// at the merge.
+func (rt *Runtime) flushAll() [][]uint32 {
+	threads := *rt.threads.Load()
+	heldOrders := make([][]uint32, len(threads))
+	for t, ts := range threads {
+		run := ts.drain()
+		rt.commit(run)
+		ts.mu.Lock()
+		heldOrders[t] = append([]uint32(nil), ts.heldOrder...)
+		ts.mu.Unlock()
+	}
+	return heldOrders
+}
+
+// closingReleases synthesizes the releases that close every open critical
+// section: threads in ascending id order, and each thread's sections in
+// LIFO order (reverse acquisition order), so nested sections close
+// deterministically innermost-first.
+func closingReleases(heldOrders [][]uint32) []trace.Event {
+	var out []trace.Event
+	for t, order := range heldOrders {
+		for i := len(order) - 1; i >= 0; i-- {
+			out = append(out, trace.Event{T: Tid(t), Op: trace.OpRelease, Targ: order[i]})
+		}
+	}
+	return out
 }
 
 // Snapshot returns the recorded trace. The recorder can keep recording;
-// the snapshot is independent.
+// the snapshot is independent. Threads must be quiescent (between recorded
+// operations) for the snapshot to be a consistent cut. Open critical
+// sections at snapshot time are legal executions, but the snapshot closes
+// them for the trace checker with deterministic LIFO releases (per thread
+// in ascending id order, each thread's sections innermost-first).
 func (rt *Runtime) Snapshot() (*Trace, error) {
+	heldOrders := rt.flushAll()
+
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.err != nil {
+		return nil, rt.err
+	}
+	rt.internMu.Lock()
 	tr := &trace.Trace{
-		Events:    append([]trace.Event(nil), rt.events...),
-		Threads:   rt.threads,
+		Events:    append([]trace.Event(nil), rt.stream...),
+		Threads:   len(heldOrders),
 		Vars:      len(rt.vars),
 		Locks:     len(rt.locks),
 		Volatiles: len(rt.vols),
 	}
-	// Open critical sections at snapshot time are legal executions, but we
-	// close them for the trace checker by appending releases in reverse
-	// acquisition order per thread.
-	type openCS struct {
-		t trace.Tid
-		m uint32
-	}
-	var open []openCS
-	owner := make(map[uint32]trace.Tid)
-	for _, e := range tr.Events {
-		switch e.Op {
-		case trace.OpAcquire:
-			owner[e.Targ] = e.T
-		case trace.OpRelease:
-			delete(owner, e.Targ)
-		}
-	}
-	for m, t := range owner {
-		open = append(open, openCS{t, m})
-	}
-	for _, oc := range open {
-		tr.Events = append(tr.Events, trace.Event{T: oc.t, Op: trace.OpRelease, Targ: oc.m})
-	}
+	rt.internMu.Unlock()
+	tr.Events = append(tr.Events, closingReleases(heldOrders)...)
 	if err := trace.Check(tr); err != nil {
 		return nil, fmt.Errorf("race: recorded trace is ill-formed: %w", err)
 	}
 	return tr, nil
 }
 
-// Analyze snapshots the recording and runs the (rel, lvl) analysis.
+// Analyze snapshots the recording and runs the (rel, lvl) analysis —
+// the record & replay mode. For one-pass online analysis attach an Engine
+// and use Finish instead.
 func (rt *Runtime) Analyze(rel Relation, lvl Level) (*Report, error) {
 	tr, err := rt.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	d, err := New(tr, rel, lvl)
-	if err != nil {
-		return nil, err
+	return Analyze(tr, rel, lvl)
+}
+
+// Finish ends recording with an attached engine: remaining per-thread
+// buffers merge, open critical sections close with deterministic LIFO
+// releases, the closing events feed the engine, and the engine's report is
+// returned. After Finish the runtime must not record further events.
+func (rt *Runtime) Finish() (*Report, error) {
+	rt.mu.Lock()
+	eng := rt.engine
+	rt.mu.Unlock()
+	if eng == nil {
+		return nil, fmt.Errorf("race: Finish requires an attached engine (WithEngineAttached)")
 	}
-	for _, e := range tr.Events {
-		d.Handle(e)
+	heldOrders := rt.flushAll()
+	closing := closingReleases(heldOrders)
+	// Mirror the closing releases in the per-thread stacks so a later
+	// Snapshot does not close them twice.
+	threads := *rt.threads.Load()
+	for t, ts := range threads {
+		ts.mu.Lock()
+		for _, m := range heldOrders[t] {
+			delete(ts.holdCount, m)
+		}
+		ts.heldOrder = nil
+		ts.mu.Unlock()
 	}
-	return &Report{col: d.Races(), tr: tr}, nil
+	rt.commit(closing)
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.err != nil {
+		return nil, rt.err
+	}
+	return eng.Close()
 }
 
 // Locked runs fn while holding the recorded lock — a convenience wrapper
