@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSeededRaceReportedOnlineHBMisses is the acceptance check for the
+// instrumented server: run under the attached engine, the seeded Figure 1
+// race is reported online by the predictive analyses (WCP, DC, WDC) but
+// not by happens-before, and vindication verifies a witness.
+func TestSeededRaceReportedOnlineHBMisses(t *testing.T) {
+	var buf bytes.Buffer
+	rep, online, err := run(&buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	hb, ok := rep.ByAnalysis("FTO-HB")
+	if !ok {
+		t.Fatal("missing FTO-HB sub-report")
+	}
+	if hb.Dynamic() != 0 {
+		t.Errorf("FTO-HB reported %d races; the observed execution is HB-ordered: %v", hb.Dynamic(), hb.Races())
+	}
+
+	onlineBy := make(map[string]int)
+	for _, r := range online {
+		onlineBy[r.Analysis]++
+	}
+	if onlineBy["FTO-HB"] != 0 {
+		t.Errorf("FTO-HB fired %d online callbacks", onlineBy["FTO-HB"])
+	}
+	for _, name := range []string{"ST-WCP", "ST-DC", "ST-WDC"} {
+		sub, ok := rep.ByAnalysis(name)
+		if !ok {
+			t.Fatalf("missing %s sub-report", name)
+		}
+		if sub.Dynamic() == 0 {
+			t.Errorf("%s missed the seeded predictable race", name)
+			continue
+		}
+		if onlineBy[name] == 0 {
+			t.Errorf("%s reported no race online (callbacks during serving)", name)
+		}
+		res, ok := rep.Vindication(sub.Races()[0].Index)
+		if !ok {
+			t.Errorf("%s: no vindication verdict for the seeded race", name)
+		} else if !res.Vindicated {
+			t.Errorf("%s: seeded race not vindicated: %s", name, res.Reason)
+		}
+	}
+}
+
+// TestRunDeterministicOutcome re-runs the server several times: the
+// scheduler gate makes the detection outcome (not the exact interleaving)
+// stable.
+func TestRunDeterministicOutcome(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		rep, _, err := run(&buf)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		hb, _ := rep.ByAnalysis("FTO-HB")
+		wdc, _ := rep.ByAnalysis("ST-WDC")
+		if hb.Dynamic() != 0 || wdc.Dynamic() == 0 {
+			t.Fatalf("iteration %d: HB=%d WDC=%d", i, hb.Dynamic(), wdc.Dynamic())
+		}
+	}
+}

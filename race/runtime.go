@@ -68,6 +68,18 @@ type threadState struct {
 	buf       []trace.Event
 	holdCount map[uint32]int // reentrancy filtering
 	heldOrder []uint32       // outermost-held locks in acquisition order
+
+	// Per-thread intern caches. Interning is the one global rendezvous on
+	// the access fast path: every Read/Write used to take internMu twice
+	// (key and PC). The caches make repeat interning thread-local — the
+	// global maps are consulted (under internMu) only on a thread's first
+	// sight of a key or call site. They are accessed without locking,
+	// which is safe under the Runtime contract that a thread's methods are
+	// called only from its registered goroutine.
+	varIDs  map[any]uint32
+	lockIDs map[any]uint32
+	volIDs  map[any]uint32
+	pcLocs  map[uintptr]trace.Loc
 }
 
 // RuntimeOption configures a Runtime.
@@ -100,7 +112,13 @@ func NewRuntime(opts ...RuntimeOption) *Runtime {
 }
 
 func newThreadState() *threadState {
-	return &threadState{holdCount: make(map[uint32]int)}
+	return &threadState{
+		holdCount: make(map[uint32]int),
+		varIDs:    make(map[any]uint32),
+		lockIDs:   make(map[any]uint32),
+		volIDs:    make(map[any]uint32),
+		pcLocs:    make(map[uintptr]trace.Loc),
+	}
 }
 
 // Main returns the main goroutine's thread id (0).
@@ -130,20 +148,38 @@ func (rt *Runtime) intern(m map[any]uint32, key any) uint32 {
 	return id
 }
 
+// internCached resolves key through the thread-local cache, falling back
+// to (and populating from) the global intern table only on first sight.
+func (rt *Runtime) internCached(local map[any]uint32, global map[any]uint32, key any) uint32 {
+	if id, ok := local[key]; ok {
+		return id
+	}
+	id := rt.intern(global, key)
+	local[key] = id
+	return id
+}
+
 // site interns the caller's program counter as a static location, giving
-// the paper's "statically distinct race" accounting for free.
-func (rt *Runtime) site(skip int) trace.Loc {
+// the paper's "statically distinct race" accounting for free. The PC→Loc
+// mapping is cached per thread, so steady-state recording does not touch
+// internMu. skip counts stack frames exactly as in runtime.Caller, with
+// frame 1 being site's caller.
+func (rt *Runtime) site(ts *threadState, skip int) trace.Loc {
 	pc, _, _, ok := runtime.Caller(skip)
 	if !ok {
 		return trace.NoLoc
 	}
+	if loc, seen := ts.pcLocs[pc]; seen {
+		return loc
+	}
 	rt.internMu.Lock()
-	defer rt.internMu.Unlock()
 	loc, seen := rt.locs[pc]
 	if !seen {
 		loc = trace.Loc(len(rt.locs) + 1)
 		rt.locs[pc] = loc
 	}
+	rt.internMu.Unlock()
+	ts.pcLocs[pc] = loc
 	return loc
 }
 
@@ -221,21 +257,40 @@ func (rt *Runtime) Join(parent, child Tid) {
 	rt.commit(childRun, parentRun)
 }
 
-// Read records a read of the variable identified by key.
+// Read records a read of the variable identified by key, attributed to
+// Read's caller.
 func (rt *Runtime) Read(t Tid, key any) {
-	rt.buffer(rt.thread(t), trace.Event{T: t, Op: trace.OpRead, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
+	rt.ReadSkip(t, key, 1)
 }
 
-// Write records a write of the variable identified by key.
+// Write records a write of the variable identified by key, attributed to
+// Write's caller.
 func (rt *Runtime) Write(t Tid, key any) {
-	rt.buffer(rt.thread(t), trace.Event{T: t, Op: trace.OpWrite, Targ: rt.intern(rt.vars, key), Loc: rt.site(2)})
+	rt.WriteSkip(t, key, 1)
+}
+
+// ReadSkip records a read of key attributed to a call site skip frames
+// above ReadSkip's caller: skip 0 attributes to the immediate caller
+// (like Read), skip 1 to the caller's caller, and so on. Instrumentation
+// wrappers (such as race/sync's shadow primitives) use it so recorded
+// sites point at user code rather than at the wrapper.
+func (rt *Runtime) ReadSkip(t Tid, key any, skip int) {
+	ts := rt.thread(t)
+	rt.buffer(ts, trace.Event{T: t, Op: trace.OpRead, Targ: rt.internCached(ts.varIDs, rt.vars, key), Loc: rt.site(ts, 2+skip)})
+}
+
+// WriteSkip records a write of key attributed skip frames above
+// WriteSkip's caller (see ReadSkip).
+func (rt *Runtime) WriteSkip(t Tid, key any, skip int) {
+	ts := rt.thread(t)
+	rt.buffer(ts, trace.Event{T: t, Op: trace.OpWrite, Targ: rt.internCached(ts.varIDs, rt.vars, key), Loc: rt.site(ts, 2+skip)})
 }
 
 // Acquire records a lock acquisition. Reentrant acquisitions are counted
 // and filtered: only the outermost acquisition emits an event.
 func (rt *Runtime) Acquire(t Tid, lock any) {
-	m := rt.intern(rt.locks, lock)
 	ts := rt.thread(t)
+	m := rt.internCached(ts.lockIDs, rt.locks, lock)
 	ts.mu.Lock()
 	ts.holdCount[m]++
 	outermost := ts.holdCount[m] == 1
@@ -254,8 +309,8 @@ func (rt *Runtime) Acquire(t Tid, lock any) {
 // Releasing a lock the thread does not hold records a runtime error (see
 // Err) instead of panicking.
 func (rt *Runtime) Release(t Tid, lock any) {
-	m := rt.intern(rt.locks, lock)
 	ts := rt.thread(t)
+	m := rt.internCached(ts.lockIDs, rt.locks, lock)
 	ts.mu.Lock()
 	if ts.holdCount[m] == 0 {
 		ts.mu.Unlock()
@@ -289,12 +344,41 @@ func (rt *Runtime) fail(err error) {
 
 // VolatileRead records an atomic/volatile load of key.
 func (rt *Runtime) VolatileRead(t Tid, key any) {
-	rt.syncPoint(rt.thread(t), trace.Event{T: t, Op: trace.OpVolatileRead, Targ: rt.intern(rt.vols, key)})
+	ts := rt.thread(t)
+	rt.syncPoint(ts, trace.Event{T: t, Op: trace.OpVolatileRead, Targ: rt.internCached(ts.volIDs, rt.vols, key)})
 }
 
 // VolatileWrite records an atomic/volatile store of key.
 func (rt *Runtime) VolatileWrite(t Tid, key any) {
-	rt.syncPoint(rt.thread(t), trace.Event{T: t, Op: trace.OpVolatileWrite, Targ: rt.intern(rt.vols, key)})
+	ts := rt.thread(t)
+	rt.syncPoint(ts, trace.Event{T: t, Op: trace.OpVolatileWrite, Targ: rt.internCached(ts.volIDs, rt.vols, key)})
+}
+
+// volSlot composes a user key with a slot index into one interned
+// volatile identity. Keyed and unkeyed volatiles occupy disjoint parts of
+// the id space: VolatileRead(k) and VolatileReadKeyed(k, 0) are different
+// volatiles.
+type volSlot struct {
+	key  any
+	slot uint32
+}
+
+// VolatileReadKeyed records an atomic/volatile load of slot `slot` of the
+// multi-slot volatile identified by key. Multi-slot volatiles let one
+// synchronization object carry several independently ordered channels of
+// publication — race/sync uses them to lower buffered channels (one slot
+// per buffer cell), rendezvous handshakes, and reader/writer ordering
+// onto the analyses' volatile rules. key must be comparable.
+func (rt *Runtime) VolatileReadKeyed(t Tid, key any, slot uint32) {
+	ts := rt.thread(t)
+	rt.syncPoint(ts, trace.Event{T: t, Op: trace.OpVolatileRead, Targ: rt.internCached(ts.volIDs, rt.vols, volSlot{key, slot})})
+}
+
+// VolatileWriteKeyed records an atomic/volatile store of slot `slot` of
+// the multi-slot volatile identified by key (see VolatileReadKeyed).
+func (rt *Runtime) VolatileWriteKeyed(t Tid, key any, slot uint32) {
+	ts := rt.thread(t)
+	rt.syncPoint(ts, trace.Event{T: t, Op: trace.OpVolatileWrite, Targ: rt.internCached(ts.volIDs, rt.vols, volSlot{key, slot})})
 }
 
 // flushAll merges every thread's remaining buffer into the linearization,

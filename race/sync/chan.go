@@ -1,0 +1,175 @@
+package sync
+
+import (
+	gosync "sync"
+)
+
+// Chan slot layout within the channel's keyed volatile: slot 0 carries
+// the unbuffered hand-off, slot 1 the unbuffered completion ack, slots
+// bufSlot0.. one per buffer cell, and closeSlot the close publication.
+const (
+	handSlot  = 0
+	ackSlot   = 1
+	bufSlot0  = 2
+	closeSlot = ^uint32(0)
+)
+
+// chanItem is one in-flight value plus its recording metadata.
+type chanItem[T any] struct {
+	v    T
+	slot uint32        // buffer cell (buffered channels)
+	ack  chan struct{} // rendezvous completion (unbuffered channels)
+}
+
+// Chan is a shadow Go channel of capacity C ≥ 0, lowering the Go memory
+// model's channel guarantees onto keyed volatiles:
+//
+//   - Buffered (C > 0): the i-th send records a volatile write of buffer
+//     cell i mod C before the value is enqueued, and the i-th receive a
+//     volatile read of the same cell after it is dequeued, so
+//     send i ⊑ recv i. Each cell has its own token, handed back only
+//     after the receive's event is recorded, and send i+C must take that
+//     same cell's token before recording, so recv i ⊑ send i+C even when
+//     many goroutines receive concurrently. Distinct in-flight cells
+//     share no volatile, so unrelated sends and receives stay unordered —
+//     C slots of independent publication, exactly the model's "k-th
+//     receive is synchronized before the (k+C)-th send completes".
+//
+//   - Unbuffered (C == 0): a send records a volatile write of the
+//     hand-off slot, rendezvouses, and — after the receiver has recorded
+//     its side — records a volatile read of the ack slot; the receiver
+//     records the hand-off read and the ack write in between. Both
+//     directions of the rendezvous ordering (send ⊑ recv completion and
+//     recv ⊑ send completion) land in the trace. Rendezvous on one
+//     channel are serialized (v1 conservatism; see the package docs).
+//
+//   - Close records a volatile write of the close slot before the
+//     underlying channel closes, and every receive that observes the
+//     close records a volatile read of it: the close publishes to all
+//     subsequent receives.
+//
+// Send on a closed channel and double Close panic, like real channels.
+// nil-channel blocking and select are not modeled in v1.
+type Chan[T any] struct {
+	capacity int
+	data     chan chanItem[T]
+	// credits holds one token per buffer cell. A cell's token is returned
+	// by the receive that drained it, strictly after that receive's
+	// volatile read is recorded, and taken by the send that reuses it,
+	// strictly before that send's volatile write is recorded — tokens are
+	// per cell (not a shared pool) so a concurrent receiver of another
+	// cell can never enable a send to record ahead of this cell's
+	// receive.
+	credits []chan struct{}
+	closed  chan struct{}
+
+	// sendMu serializes senders between cell assignment and enqueue so
+	// that buffer cells are consumed in FIFO order (and, unbuffered, so
+	// that at most one rendezvous is in flight). It is infrastructure,
+	// not a recorded lock: it adds no trace events and no analysis edges.
+	sendMu   gosync.Mutex
+	nextCell uint32 // next buffer cell to fill, advanced mod capacity
+}
+
+// NewChan returns a shadow channel with the given capacity (0 for an
+// unbuffered rendezvous channel). Use it only with Gs of a single Env.
+func NewChan[T any](capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("race/sync: NewChan with negative capacity")
+	}
+	c := &Chan[T]{capacity: capacity, closed: make(chan struct{})}
+	if capacity == 0 {
+		c.data = make(chan chanItem[T])
+		return c
+	}
+	c.data = make(chan chanItem[T], capacity)
+	c.credits = make([]chan struct{}, capacity)
+	for i := range c.credits {
+		c.credits[i] = make(chan struct{}, 1)
+		c.credits[i] <- struct{}{}
+	}
+	return c
+}
+
+// Cap returns the channel's capacity.
+func (c *Chan[T]) Cap() int { return c.capacity }
+
+// Send sends v on the channel, blocking like a real channel send: until
+// a receiver arrives (unbuffered) or a buffer cell is free (buffered).
+// Sending on a closed channel panics.
+func (c *Chan[T]) Send(g *G, v T) {
+	rt := g.env.rt
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.capacity == 0 {
+		select {
+		case <-c.closed:
+			// Closed before this Send began: panic without recording a
+			// phantom hand-off. (A Close racing an in-flight Send — a
+			// program bug either way — may still record the hand-off
+			// before the panic; the extra event can only add ordering.)
+			panic("race/sync: send on closed Chan")
+		default:
+		}
+		ack := make(chan struct{})
+		rt.VolatileWriteKeyed(g.tid, c, handSlot)
+		c.data <- chanItem[T]{v: v, ack: ack}
+		<-ack // receiver has recorded its hand-off read and ack write
+		rt.VolatileReadKeyed(g.tid, c, ackSlot)
+		return
+	}
+	cell := c.nextCell
+	select {
+	case <-c.credits[cell]: // the cell's previous receive has been recorded
+		select {
+		case <-c.closed:
+			// Closed before this Send began (both select cases were
+			// ready): panic without recording a phantom send. As on the
+			// unbuffered path, a Close racing an in-flight Send may still
+			// record before the panic.
+			panic("race/sync: send on closed Chan")
+		default:
+		}
+	case <-c.closed:
+		panic("race/sync: send on closed Chan")
+	}
+	c.nextCell = (cell + 1) % uint32(c.capacity)
+	// Record before enqueueing: the matching receive's volatile read can
+	// only follow the dequeue, which follows this.
+	rt.VolatileWriteKeyed(g.tid, c, bufSlot0+cell)
+	c.data <- chanItem[T]{v: v, slot: cell} // never blocks: we hold the cell's token
+}
+
+// Recv receives a value, blocking until one is available or the channel
+// is closed and drained. The second result is false exactly when the
+// channel is closed and empty, in which case the receive is ordered
+// after Close.
+func (c *Chan[T]) Recv(g *G) (T, bool) {
+	rt := g.env.rt
+	it, ok := <-c.data
+	if !ok {
+		rt.VolatileReadKeyed(g.tid, c, closeSlot)
+		var zero T
+		return zero, false
+	}
+	if c.capacity == 0 {
+		rt.VolatileReadKeyed(g.tid, c, handSlot)
+		rt.VolatileWriteKeyed(g.tid, c, ackSlot)
+		close(it.ack)
+		return it.v, true
+	}
+	// Record before handing the cell's token back: the send that reuses
+	// this cell must take it, so its volatile write follows ours.
+	rt.VolatileReadKeyed(g.tid, c, bufSlot0+it.slot)
+	c.credits[it.slot] <- struct{}{} // never blocks: one token per dequeued item
+	return it.v, true
+}
+
+// Close closes the channel. Buffered values still in flight are received
+// normally; receives after the drain return the zero value and false,
+// ordered after Close. Closing twice panics, like a real channel.
+func (c *Chan[T]) Close(g *G) {
+	g.env.rt.VolatileWriteKeyed(g.tid, c, closeSlot)
+	close(c.closed)
+	close(c.data)
+}

@@ -1,0 +1,109 @@
+package sync
+
+import (
+	gosync "sync"
+)
+
+// Mutex is a shadow sync.Mutex: a real mutex that records its critical
+// sections. Lock lowers to acq(m) and Unlock to rel(m), so predictive
+// analyses see plain lock critical sections and can reorder
+// non-conflicting ones — the setting in which WCP/DC/WDC predict races
+// that happens-before misses.
+//
+// The acquire event is recorded while the real lock is held and the
+// release event before it is let go, so the recorded critical sections
+// alternate exactly like the real ones and the trace stays well formed.
+type Mutex struct {
+	mu gosync.Mutex
+}
+
+// Lock acquires the mutex for g, blocking like sync.Mutex.Lock.
+func (m *Mutex) Lock(g *G) {
+	m.mu.Lock()
+	g.env.rt.Acquire(g.tid, m)
+}
+
+// Unlock releases the mutex. Unlocking an unheld Mutex panics, exactly
+// like the standard library (after surfacing the recording error through
+// the Env).
+func (m *Mutex) Unlock(g *G) {
+	g.env.rt.Release(g.tid, m)
+	m.mu.Unlock()
+}
+
+// Locked runs fn while holding the mutex — a convenience pairing
+// Lock/Unlock.
+func (m *Mutex) Locked(g *G, fn func()) {
+	m.Lock(g)
+	defer m.Unlock(g)
+	fn()
+}
+
+// rwSlot is the single keyed-volatile slot an RWMutex uses for
+// reader/writer ordering.
+const rwSlot = 0
+
+// RWMutex is a shadow sync.RWMutex. Writer sections lower to a lock
+// critical section (acq/rel on the RWMutex identity) bracketed by
+// volatile writes; reader sections lower to volatile reads only. Under
+// the analyses' volatile rules this records precisely the RWMutex
+// contract:
+//
+//   - readers are unordered with readers (volatile reads do not conflict),
+//   - every reader is ordered after the preceding writer's Unlock
+//     (vwr at Unlock → vrd at RLock), and
+//   - every writer is ordered after all preceding readers' RUnlocks
+//     (vrd at RUnlock → vwr at Lock).
+//
+// v1 conservatism: the volatile write pair orders writer sections of the
+// same RWMutex with each other under every relation, so predictive
+// analyses do not predict races between two writer sections. See the
+// package documentation.
+type RWMutex struct {
+	mu gosync.RWMutex
+}
+
+// Lock write-locks the mutex for g.
+func (m *RWMutex) Lock(g *G) {
+	m.mu.Lock()
+	g.env.rt.Acquire(g.tid, m)
+	g.env.rt.VolatileWriteKeyed(g.tid, m, rwSlot)
+}
+
+// Unlock releases a write lock.
+func (m *RWMutex) Unlock(g *G) {
+	g.env.rt.VolatileWriteKeyed(g.tid, m, rwSlot)
+	g.env.rt.Release(g.tid, m)
+	m.mu.Unlock()
+}
+
+// RLock read-locks the mutex for g. The real RWMutex blocks readers out
+// of writer sections; the recorded volatile read orders this reader
+// after the previous writer's Unlock.
+func (m *RWMutex) RLock(g *G) {
+	m.mu.RLock()
+	g.env.rt.VolatileReadKeyed(g.tid, m, rwSlot)
+}
+
+// RUnlock releases a read lock. The recorded volatile read is what a
+// later writer's Lock is ordered after — the real RWMutex guarantees the
+// writer cannot proceed (and so cannot record its volatile write) until
+// this runs.
+func (m *RWMutex) RUnlock(g *G) {
+	g.env.rt.VolatileReadKeyed(g.tid, m, rwSlot)
+	m.mu.RUnlock()
+}
+
+// RLocked runs fn while holding a read lock.
+func (m *RWMutex) RLocked(g *G, fn func()) {
+	m.RLock(g)
+	defer m.RUnlock(g)
+	fn()
+}
+
+// WLocked runs fn while holding the write lock.
+func (m *RWMutex) WLocked(g *G, fn func()) {
+	m.Lock(g)
+	defer m.Unlock(g)
+	fn()
+}

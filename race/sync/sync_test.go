@@ -1,0 +1,444 @@
+package sync_test
+
+import (
+	"strings"
+	gosync "sync"
+	"testing"
+
+	"repro/race"
+	rsync "repro/race/sync"
+)
+
+// predictive reports whether the named analysis tracks a predictive
+// relation (anything other than the HB family).
+func predictive(name string) bool {
+	return !strings.Contains(name, "HB") && name != "FT2"
+}
+
+// countsByDetector snapshots env and runs every registered analysis over
+// the recorded trace, returning dynamic race counts by analysis name.
+func countsByDetector(t *testing.T, env *rsync.Env) map[string]int {
+	t.Helper()
+	tr, err := env.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	out := make(map[string]int)
+	for _, name := range race.Detectors() {
+		rep, err := race.AnalyzeByName(tr, name)
+		if err != nil {
+			t.Fatalf("AnalyzeByName(%s): %v", name, err)
+		}
+		out[name] = rep.Dynamic()
+	}
+	return out
+}
+
+// wantNoRaces asserts every analysis reports zero races — the shadow
+// lowering must not invent ordering gaps on a correctly synchronized
+// program.
+func wantNoRaces(t *testing.T, env *rsync.Env) {
+	t.Helper()
+	for name, n := range countsByDetector(t, env) {
+		if n != 0 {
+			t.Errorf("%s: %d races on a correctly synchronized program", name, n)
+		}
+	}
+}
+
+// wantRacesEverywhere asserts every analysis reports at least one race.
+func wantRacesEverywhere(t *testing.T, env *rsync.Env) {
+	t.Helper()
+	for name, n := range countsByDetector(t, env) {
+		if n == 0 {
+			t.Errorf("%s: no race reported on an unsynchronized program", name)
+		}
+	}
+}
+
+func TestMutexGuardedCounterNoRace(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	var mu rsync.Mutex
+	work := func(g *rsync.G) {
+		for i := 0; i < 25; i++ {
+			mu.Lock(g)
+			g.Read("counter")
+			g.Write("counter")
+			mu.Unlock(g)
+		}
+	}
+	h1, h2 := root.Go(work), root.Go(work)
+	h1.Join(root)
+	h2.Join(root)
+	wantNoRaces(t, env)
+}
+
+func TestUnguardedWritesRaceEverywhere(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	work := func(g *rsync.G) { g.Write("shared") }
+	h1, h2 := root.Go(work), root.Go(work)
+	h1.Join(root)
+	h2.Join(root)
+	wantRacesEverywhere(t, env)
+}
+
+// TestFigure1PredictableRace records the paper's Figure 1 shape through
+// the shadow Mutex: two critical sections on one lock with no conflicting
+// accesses, and an access outside the second that conflicts with one
+// inside the first. HB orders the sections by the release→acquire edge
+// and misses the race; the predictive relations do not.
+func TestFigure1PredictableRace(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	var mu rsync.Mutex
+	// sched is a plain, unrecorded channel standing in for scheduler
+	// timing: it forces the benign interleaving without adding any edge
+	// the analyses can see.
+	sched := make(chan struct{})
+	h1 := root.Go(func(g *rsync.G) {
+		mu.Lock(g)
+		g.Write("x")
+		mu.Unlock(g)
+		close(sched)
+	})
+	h2 := root.Go(func(g *rsync.G) {
+		<-sched
+		mu.Lock(g)
+		g.Read("y")
+		mu.Unlock(g)
+		g.Write("x")
+	})
+	h1.Join(root)
+	h2.Join(root)
+
+	for name, n := range countsByDetector(t, env) {
+		if predictive(name) && n == 0 {
+			t.Errorf("%s: predictable race not reported", name)
+		}
+		if !predictive(name) && n != 0 {
+			t.Errorf("%s: HB-family analysis reported %d races on the HB-ordered trace", name, n)
+		}
+	}
+}
+
+func TestRWMutexWriterReaderOrdered(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	var mu rsync.RWMutex
+
+	// Writer publishes, then (scheduler-gated) two readers read, then a
+	// second writer rewrites: every direction of the reader/writer
+	// ordering is exercised.
+	mu.Lock(root)
+	root.Write("config")
+	mu.Unlock(root)
+
+	readersDone := make(chan struct{}, 2) // unrecorded timing gate
+	r1 := root.Go(func(g *rsync.G) {
+		mu.RLock(g)
+		g.Read("config")
+		mu.RUnlock(g)
+		readersDone <- struct{}{}
+	})
+	r2 := root.Go(func(g *rsync.G) {
+		mu.RLock(g)
+		g.Read("config")
+		mu.RUnlock(g)
+		readersDone <- struct{}{}
+	})
+	w := root.Go(func(g *rsync.G) {
+		<-readersDone
+		<-readersDone
+		mu.Lock(g)
+		g.Write("config")
+		mu.Unlock(g)
+	})
+	r1.Join(root)
+	r2.Join(root)
+	w.Join(root)
+	wantNoRaces(t, env)
+}
+
+// TestRWMutexReadersUnorderedWithReaders checks the contract's other
+// half: a write performed under RLock (a misuse the real RWMutex does not
+// exclude) races with another reader section, because reader sections
+// record no mutual ordering — even when one runs strictly before the
+// other.
+func TestRWMutexReadersUnorderedWithReaders(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	var mu rsync.RWMutex
+	sched := make(chan struct{}) // unrecorded: serialize the two readers
+	h1 := root.Go(func(g *rsync.G) {
+		mu.RLock(g)
+		g.Write("abused") // bug: write under a read lock
+		mu.RUnlock(g)
+		close(sched)
+	})
+	h2 := root.Go(func(g *rsync.G) {
+		<-sched
+		mu.RLock(g)
+		g.Write("abused")
+		mu.RUnlock(g)
+	})
+	h1.Join(root)
+	h2.Join(root)
+	wantRacesEverywhere(t, env)
+}
+
+func TestWaitGroupCumulativePublication(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	var wg rsync.WaitGroup
+	wg.Add(root, 3)
+	var hs []*rsync.Handle
+	for i := 0; i < 3; i++ {
+		key := []string{"a", "b", "c"}[i]
+		hs = append(hs, root.Go(func(g *rsync.G) {
+			g.Write(key)
+			wg.Done(g)
+		}))
+	}
+	wg.Wait(root)
+	// Ordered after every worker's write by Done/Wait alone — the joins
+	// happen only after the unguarded reads.
+	root.Read("a")
+	root.Read("b")
+	root.Read("c")
+	for _, h := range hs {
+		h.Join(root)
+	}
+	wantNoRaces(t, env)
+}
+
+func TestOncePublishesInitialization(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	var once rsync.Once
+	work := func(g *rsync.G) {
+		once.Do(g, func() { g.Write("lazy") })
+		g.Read("lazy")
+	}
+	var hs []*rsync.Handle
+	for i := 0; i < 4; i++ {
+		hs = append(hs, root.Go(work))
+	}
+	for _, h := range hs {
+		h.Join(root)
+	}
+	wantNoRaces(t, env)
+}
+
+// TestChanBufferedMessagePassing checks send i ⊑ recv i: each message's
+// payload cell is written before its send and read after its receive.
+// (Reusing payload cells across in-flight messages would be a real race
+// in the Go memory model too — receive i orders only the completion of
+// send i+cap, not the consumer's post-receive code against the
+// producer's pre-send rewrite — and the lowering faithfully reports it.)
+func TestChanBufferedMessagePassing(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	ch := rsync.NewChan[int](2)
+	keys := []string{"msg0", "msg1", "msg2", "msg3", "msg4", "msg5", "msg6", "msg7"}
+	prod := root.Go(func(g *rsync.G) {
+		for i := range keys {
+			g.Write(keys[i])
+			ch.Send(g, i)
+		}
+		ch.Close(g)
+	})
+	cons := root.Go(func(g *rsync.G) {
+		for {
+			i, ok := ch.Recv(g)
+			if !ok {
+				return
+			}
+			g.Read(keys[i])
+		}
+	})
+	prod.Join(root)
+	cons.Join(root)
+	wantNoRaces(t, env)
+}
+
+// TestChanPerSlotOrdering pins down the buffered lowering contract
+// recv i ⊑ send i+cap. With capacity 1 the producer's second send must
+// take the buffer cell the consumer's first receive handed back, so the
+// consumer's pre-receive write is ordered before the producer's
+// post-send write. With capacity 2 the sends use distinct cells, no such
+// edge exists, and every analysis reports the race.
+func TestChanPerSlotOrdering(t *testing.T) {
+	run := func(capacity int) *rsync.Env {
+		env := rsync.NewEnv()
+		root := env.Root()
+		ch := rsync.NewChan[int](capacity)
+		cons := root.Go(func(g *rsync.G) {
+			g.Write("flag")
+			ch.Recv(g)
+			ch.Recv(g)
+		})
+		prod := root.Go(func(g *rsync.G) {
+			ch.Send(g, 1)
+			ch.Send(g, 2)
+			g.Write("flag")
+		})
+		cons.Join(root)
+		prod.Join(root)
+		return env
+	}
+	t.Run("cap1-ordered", func(t *testing.T) { wantNoRaces(t, run(1)) })
+	t.Run("cap2-unordered", func(t *testing.T) { wantRacesEverywhere(t, run(2)) })
+}
+
+// TestChanUnbufferedRendezvous checks both directions of the rendezvous:
+// the sender's pre-send write is published to the receiver (send ⊑ recv)
+// and the receiver's pre-receive write is published to the sender's
+// post-send code (recv ⊑ send completion).
+func TestChanUnbufferedRendezvous(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	ch := rsync.NewChan[string](0)
+	snd := root.Go(func(g *rsync.G) {
+		g.Write("forward")
+		ch.Send(g, "hello")
+		g.Read("backward") // ordered after the receiver's write by the ack
+	})
+	rcv := root.Go(func(g *rsync.G) {
+		g.Write("backward")
+		ch.Recv(g)
+		g.Read("forward")
+	})
+	snd.Join(root)
+	rcv.Join(root)
+	wantNoRaces(t, env)
+}
+
+func TestChanClosePublishes(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	ch := rsync.NewChan[int](1)
+	snd := root.Go(func(g *rsync.G) {
+		g.Write("final")
+		ch.Close(g)
+	})
+	rcv := root.Go(func(g *rsync.G) {
+		for {
+			if _, ok := ch.Recv(g); !ok {
+				break
+			}
+		}
+		g.Read("final") // ordered after the closer's write via the close slot
+	})
+	snd.Join(root)
+	rcv.Join(root)
+	wantNoRaces(t, env)
+}
+
+// TestChanSendOnClosedPanicsWithoutPhantomEvents: sending on a closed
+// channel must panic (like a real channel) and must not leak a phantom
+// send event into the trace, buffered or unbuffered.
+func TestChanSendOnClosedPanicsWithoutPhantomEvents(t *testing.T) {
+	for _, capacity := range []int{0, 2} {
+		env := rsync.NewEnv()
+		root := env.Root()
+		ch := rsync.NewChan[int](capacity)
+		ch.Close(root)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cap=%d: Send on closed Chan did not panic", capacity)
+				}
+			}()
+			ch.Send(root, 1)
+		}()
+		tr, err := env.Snapshot()
+		if err != nil {
+			t.Fatalf("cap=%d: Snapshot: %v", capacity, err)
+		}
+		if n := tr.Counts()[race.OpVolatileWrite]; n != 1 {
+			t.Errorf("cap=%d: %d volatile writes recorded, want 1 (the close only)", capacity, n)
+		}
+	}
+}
+
+func TestJoinPublishesChildEvents(t *testing.T) {
+	env := rsync.NewEnv()
+	root := env.Root()
+	h := root.Go(func(g *rsync.G) { g.Write("result") })
+	h.Join(root)
+	root.Read("result")
+	wantNoRaces(t, env)
+}
+
+// TestOnlineEngineMatchesSnapshot drives the full online path: an
+// attached multi-analysis engine fed while goroutines run, with OnRace
+// callbacks, must agree with batch replay of the snapshot.
+func TestOnlineEngineMatchesSnapshot(t *testing.T) {
+	names := []string{"FTO-HB", "ST-WCP", "ST-DC", "ST-WDC"}
+	var onlineMu gosync.Mutex
+	online := make(map[string]int)
+	eng, err := race.NewEngine(
+		race.WithAnalysisNames(names...),
+		race.WithOnRace(func(r race.RaceInfo) {
+			onlineMu.Lock()
+			online[r.Analysis]++
+			onlineMu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := rsync.NewEnv(race.WithEngineAttached(eng))
+	root := env.Root()
+	var mu rsync.Mutex
+	sched := make(chan struct{})
+	h1 := root.Go(func(g *rsync.G) {
+		mu.Lock(g)
+		g.Write("x")
+		mu.Unlock(g)
+		close(sched)
+	})
+	h2 := root.Go(func(g *rsync.G) {
+		<-sched
+		mu.Lock(g)
+		g.Read("y")
+		mu.Unlock(g)
+		g.Write("x")
+	})
+	h1.Join(root)
+	h2.Join(root)
+
+	tr, err := env.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	rep, err := env.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for _, name := range names {
+		sub, ok := rep.ByAnalysis(name)
+		if !ok {
+			t.Fatalf("no sub-report for %s", name)
+		}
+		batch, err := race.AnalyzeByName(tr, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Dynamic() != batch.Dynamic() || sub.Static() != batch.Static() {
+			t.Errorf("%s: online dynamic=%d static=%d, batch dynamic=%d static=%d",
+				name, sub.Dynamic(), sub.Static(), batch.Dynamic(), batch.Static())
+		}
+		if online[name] != sub.Dynamic() {
+			t.Errorf("%s: %d OnRace callbacks, report has %d races", name, online[name], sub.Dynamic())
+		}
+	}
+	if online["FTO-HB"] != 0 {
+		t.Errorf("FTO-HB reported %d races online; the trace is HB-ordered", online["FTO-HB"])
+	}
+	if online["ST-WDC"] == 0 {
+		t.Error("ST-WDC missed the predictable race online")
+	}
+}

@@ -1,0 +1,67 @@
+package sync
+
+import (
+	gosync "sync"
+)
+
+// wgSlot/onceSlot are the keyed-volatile slots WaitGroup and Once use.
+const (
+	wgSlot   = 0
+	onceSlot = 0
+)
+
+// WaitGroup is a shadow sync.WaitGroup. Done lowers to a volatile write
+// and Wait to a volatile read of the WaitGroup's volatile, recording the
+// cumulative release-acquire the real primitive guarantees: everything
+// before every Done is ordered before everything after Wait returns.
+//
+// Done's event is recorded before the real counter drops, so Wait cannot
+// unblock (and record its volatile read) until every Done's volatile
+// write is already in the trace.
+//
+// v1 conservatism: volatile writes conflict with each other, so Done
+// operations on one WaitGroup are recorded mutually ordered, though real
+// Dones are not.
+type WaitGroup struct {
+	wg gosync.WaitGroup
+}
+
+// Add adds delta to the counter. Add itself records no event: its
+// ordering role in real programs (Add before the fork of the workers) is
+// carried by the fork edge.
+func (w *WaitGroup) Add(g *G, delta int) {
+	w.wg.Add(delta)
+}
+
+// Done decrements the counter, publishing everything g did so far to
+// whoever Waits.
+func (w *WaitGroup) Done(g *G) {
+	g.env.rt.VolatileWriteKeyed(g.tid, w, wgSlot)
+	w.wg.Done()
+}
+
+// Wait blocks until the counter is zero, then records the acquire of
+// every Done's publication.
+func (w *WaitGroup) Wait(g *G) {
+	w.wg.Wait()
+	g.env.rt.VolatileReadKeyed(g.tid, w, wgSlot)
+}
+
+// Once is a shadow sync.Once. The winner's f runs under real Once mutual
+// exclusion and is followed by a volatile write; every Do (winner and
+// losers alike) records a volatile read after f has completed. The
+// analyses therefore order f's events before every Do return — the
+// "initialization happens-before every use" contract.
+type Once struct {
+	once gosync.Once
+}
+
+// Do calls f exactly once across all Gs, recording the publication of
+// f's effects to every caller.
+func (o *Once) Do(g *G, f func()) {
+	o.once.Do(func() {
+		f()
+		g.env.rt.VolatileWriteKeyed(g.tid, o, onceSlot)
+	})
+	g.env.rt.VolatileReadKeyed(g.tid, o, onceSlot)
+}
