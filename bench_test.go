@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -49,6 +50,41 @@ func BenchmarkAnalysis(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(benchTrace.Len()), "events/op")
+		})
+	}
+}
+
+// BenchmarkAnalysisAllCells measures the multi-analysis fan-out: one pass
+// of the avrora-calibrated workload through every registered Table 1 cell
+// at once, sequentially and through the parallel pipeline at GOMAXPROCS —
+// the throughput comparison behind the repo's BENCH_*.json trajectory.
+// The parallel speedup requires cores: on a single-CPU machine the
+// pipeline can only hide coordination, not overlap analysis work.
+func BenchmarkAnalysisAllCells(b *testing.B) {
+	var names []string
+	for _, entry := range analysis.All() {
+		names = append(names, entry.Name)
+	}
+	for _, cfg := range []struct {
+		name string
+		par  int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := bench.MeasureEngine(benchTrace, names, cfg.par, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = d
+			}
+			b.ReportMetric(float64(benchTrace.Len()), "events/op")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(benchTrace.Len())*float64(b.N)/s, "events/sec")
+			}
 		})
 	}
 }

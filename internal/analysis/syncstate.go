@@ -278,8 +278,16 @@ func (s *SyncState) PostRelease(t trace.Tid, m uint32) {
 	if s.Rel == HB || s.Rel == WCP {
 		s.growLocks(int(m) + 1)
 	}
+	// The per-lock release clocks are overwritten in place: nothing retains
+	// a reference to them (PreAcquire joins their contents immediately), so
+	// reusing the existing vector avoids one or two heap clocks per release.
 	if s.lockP != nil {
-		cp := s.P[t].Copy()
+		cp := s.lockP[m]
+		if cp == nil {
+			cp = vc.New(0)
+			s.lockP[m] = cp
+		}
+		cp.CopyFrom(s.P[t])
 		if s.Rel == WCP {
 			// The release→acquire edge is an HB edge, not a WCP edge: it
 			// carries the releasing thread's WCP-before knowledge (right
@@ -289,10 +297,14 @@ func (s *SyncState) PostRelease(t trace.Tid, m uint32) {
 			// delivered by earlier relation edges.
 			cp.Set(vc.Tid(t), s.selfP[t])
 		}
-		s.lockP[m] = cp
 	}
 	if s.lockH != nil {
-		s.lockH[m] = s.H[t].Copy()
+		ch := s.lockH[m]
+		if ch == nil {
+			ch = vc.New(0)
+			s.lockH[m] = ch
+		}
+		ch.CopyFrom(s.H[t])
 	}
 	h := s.held[t]
 	for i := len(h) - 1; i >= 0; i-- {

@@ -31,6 +31,14 @@
 // number of critical sections per lock — the same worst case as the old
 // per-pair queues (which only freed entries once consumed), minus their
 // (T-1)-way duplication of every entry.
+//
+// Representation. Both structures index by the engines' dense id spaces
+// rather than hashing: rule (a) state is a paged slice of per-(lock, var)
+// cells (aCell) so the per-access path is two array indexings with no map
+// lookups or per-access heap traffic, and rule (b) cursors are dense
+// [observer][owner] slices (thread ids are small). Pages materialize on
+// first touch, so sparse id use under one lock does not pay for the full
+// variable space.
 package ccs
 
 import (
@@ -71,16 +79,13 @@ type csLog struct {
 
 // lockLogs holds the per-owner logs for one lock (indexed by owner thread
 // id — dense, so a growable slice; nil means the owner has no critical
-// sections on this lock) plus the per-pair consumed-prefix cursors, keyed
-// observer<<16|owner (thread ids are dense uint16, so the key is stable as
-// the thread count grows).
+// sections on this lock) plus the per-pair consumed-prefix cursors,
+// heads[observer][owner] — dense in both dimensions because thread ids are
+// small and dense, replacing the old observer<<16|owner map (a hash lookup
+// and potential insert per (observer, owner) pair per release).
 type lockLogs struct {
 	byOwner []*csLog
-	head    map[uint32]int
-}
-
-func pairKey(observer, owner trace.Tid) uint32 {
-	return uint32(observer)<<16 | uint32(owner)
+	heads   [][]int32
 }
 
 func (ll *lockLogs) owner(t trace.Tid) *csLog {
@@ -91,6 +96,18 @@ func (ll *lockLogs) owner(t trace.Tid) *csLog {
 		ll.byOwner[t] = lg
 	}
 	return lg
+}
+
+// cursors returns observer t's consumed-prefix row, sized to cover all
+// current owners.
+func (ll *lockLogs) cursors(t trace.Tid) []int32 {
+	analysis.EnsureLen(&ll.heads, int(t)+1)
+	row := ll.heads[t]
+	if len(row) < len(ll.byOwner) {
+		analysis.EnsureLen(&row, len(ll.byOwner))
+		ll.heads[t] = row
+	}
+	return row
 }
 
 // RuleB computes rule (b): at each release of m by t, any earlier critical
@@ -120,7 +137,7 @@ func (b *RuleB) lockState(m uint32) *lockLogs {
 	analysis.EnsureLen(&b.locks, int(m)+1)
 	q := b.locks[m]
 	if q == nil {
-		q = &lockLogs{head: make(map[uint32]int)}
+		q = &lockLogs{}
 		b.locks[m] = q
 	}
 	return q
@@ -150,6 +167,7 @@ func (b *RuleB) Acquire(t trace.Tid, m uint32, p *vc.VC) {
 func (b *RuleB) Release(t trace.Tid, m uint32, s *analysis.SyncState, idx int32, hook analysis.Hook) {
 	p := s.P[t]
 	ll := b.lockState(m)
+	heads := ll.cursors(t)
 	// Owners iterate in ascending thread order — the same order as the old
 	// pre-sized per-pair queues. Determinism matters: JoinP below grows p,
 	// which the ordered test reads, so the iteration order is part of the
@@ -159,9 +177,8 @@ func (b *RuleB) Release(t trace.Tid, m uint32, s *analysis.SyncState, idx int32,
 		if lg == nil || owner == int(t) {
 			continue
 		}
-		k := pairKey(t, trace.Tid(owner))
-		h := ll.head[k]
-		for h < len(lg.acq) {
+		h := heads[owner]
+		for int(h) < len(lg.acq) {
 			front := lg.acq[h]
 			var ordered bool
 			if b.epochAcq {
@@ -179,9 +196,7 @@ func (b *RuleB) Release(t trace.Tid, m uint32, s *analysis.SyncState, idx int32,
 				hook.Edge(re.idx, idx)
 			}
 		}
-		if h > 0 {
-			ll.head[k] = h
-		}
+		heads[owner] = h
 	}
 	snap := p
 	if b.rel == analysis.WCP {
@@ -198,7 +213,9 @@ func (b *RuleB) Weight() int {
 		if ll == nil {
 			continue
 		}
-		w += 2 * len(ll.head)
+		for _, row := range ll.heads {
+			w += (len(row) + 1) / 2
+		}
 		for _, lg := range ll.byOwner {
 			if lg == nil {
 				continue
@@ -217,6 +234,63 @@ func (b *RuleB) Weight() int {
 	return w
 }
 
+// pageBits/pageSize set the rule (a) paging granularity: 16 cells (512B)
+// per page balances the footprint of a sparse lock touching few, scattered
+// variables (the DaCapo-calibrated workloads' shape: ~140 live (lock, var)
+// pairs spread over a ~600-variable space) against per-access indexing
+// depth (two levels) and allocation count.
+const (
+	pageBits = 4
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// accessed marks which access sets of the ongoing critical section contain
+// the variable.
+const (
+	inReadSet uint8 = 1 << iota
+	inWriteSet
+)
+
+// aCell is the rule (a) state of one (lock, variable) pair: the joined
+// release times of prior critical sections on the lock that read (lr) or
+// wrote (lw) the variable, the trace indices of the latest contributing
+// releases (for constraint-graph edges), and the ongoing critical
+// section's membership marks. One cell replaces six map entries of the old
+// representation; the whole per-access rule (a) path is now two slice
+// indexings.
+type aCell struct {
+	lr, lw       *vc.VC
+	lrIdx, lwIdx int32
+	mark         uint8
+}
+
+// aPage is one materialized page of cells.
+type aPage [pageSize]aCell
+
+// lockTab is the per-lock rule (a) table: paged dense cells indexed by
+// variable id, plus the list of variables touched by the ongoing critical
+// section (the old rs/ws sets, now a slice with per-cell marks so
+// membership tests are O(1) without hashing).
+type lockTab struct {
+	pages   []*aPage
+	touched []uint32
+}
+
+// cell returns the (lock, var) cell, materializing its page on first touch.
+func (tb *lockTab) cell(x uint32) *aCell {
+	pi := int(x >> pageBits)
+	if pi >= len(tb.pages) {
+		analysis.EnsureLen(&tb.pages, pi+1)
+	}
+	p := tb.pages[pi]
+	if p == nil {
+		p = new(aPage)
+		tb.pages[pi] = p
+	}
+	return &p[x&pageMask]
+}
+
 // LockTables is rule (a) state for the Unopt and FTO levels: per lock, the
 // joined release times of critical sections that read (Lr) or wrote (Lw)
 // each variable, plus the variables accessed by the lock's ongoing critical
@@ -229,12 +303,6 @@ type LockTables struct {
 	locks []*lockTab
 }
 
-type lockTab struct {
-	lr, lw       map[uint32]*vc.VC
-	lrIdx, lwIdx map[uint32]int32 // latest contributing release event index
-	rs, ws       map[uint32]struct{}
-}
-
 // NewLockTables builds empty rule (a) tables from capacity hints.
 func NewLockTables(spec analysis.Spec, markWritesAsReads bool) *LockTables {
 	return &LockTables{MarkWritesAsReads: markWritesAsReads, locks: make([]*lockTab, spec.Locks)}
@@ -244,11 +312,7 @@ func (lt *LockTables) tab(m uint32) *lockTab {
 	analysis.EnsureLen(&lt.locks, int(m)+1)
 	tb := lt.locks[m]
 	if tb == nil {
-		tb = &lockTab{
-			lr: make(map[uint32]*vc.VC), lw: make(map[uint32]*vc.VC),
-			lrIdx: make(map[uint32]int32), lwIdx: make(map[uint32]int32),
-			rs: make(map[uint32]struct{}), ws: make(map[uint32]struct{}),
-		}
+		tb = &lockTab{}
 		lt.locks[m] = tb
 	}
 	return tb
@@ -259,13 +323,17 @@ func (lt *LockTables) tab(m uint32) *lockTab {
 // records x in the ongoing critical section's read set.
 func (lt *LockTables) ReadJoin(t trace.Tid, m, x uint32, s *analysis.SyncState, idx int32, hook analysis.Hook) {
 	tb := lt.tab(m)
-	if c := tb.lw[x]; c != nil {
-		s.JoinP(t, c)
+	cl := tb.cell(x)
+	if cl.lw != nil {
+		s.JoinP(t, cl.lw)
 		if hook != nil {
-			hook.Edge(tb.lwIdx[x], idx)
+			hook.Edge(cl.lwIdx, idx)
 		}
 	}
-	tb.rs[x] = struct{}{}
+	if cl.mark == 0 {
+		tb.touched = append(tb.touched, x)
+	}
+	cl.mark |= inReadSet
 }
 
 // WriteJoin applies rule (a) for a write of x inside a critical section on
@@ -274,27 +342,34 @@ func (lt *LockTables) ReadJoin(t trace.Tid, m, x uint32, s *analysis.SyncState, 
 // read set in FTO mode).
 func (lt *LockTables) WriteJoin(t trace.Tid, m, x uint32, s *analysis.SyncState, idx int32, hook analysis.Hook) {
 	tb := lt.tab(m)
-	if c := tb.lr[x]; c != nil {
-		s.JoinP(t, c)
+	cl := tb.cell(x)
+	if cl.lr != nil {
+		s.JoinP(t, cl.lr)
 		if hook != nil {
-			hook.Edge(tb.lrIdx[x], idx)
+			hook.Edge(cl.lrIdx, idx)
 		}
 	}
-	if c := tb.lw[x]; c != nil {
-		s.JoinP(t, c)
+	if cl.lw != nil {
+		s.JoinP(t, cl.lw)
 		if hook != nil {
-			hook.Edge(tb.lwIdx[x], idx)
+			hook.Edge(cl.lwIdx, idx)
 		}
 	}
-	tb.ws[x] = struct{}{}
+	if cl.mark == 0 {
+		tb.touched = append(tb.touched, x)
+	}
+	cl.mark |= inWriteSet
 	if lt.MarkWritesAsReads {
-		tb.rs[x] = struct{}{}
+		cl.mark |= inReadSet
 	}
 }
 
 // Release folds the ongoing critical section's access sets into Lr/Lw with
 // the release time rt (Algorithm 1 lines 9–11): the relation clock for DC
-// and WDC, the HB clock for WCP.
+// and WDC, the HB clock for WCP. Touched variables fold in access order
+// (first touch first) — join is commutative and the sets are disjoint per
+// variable, so the order is unobservable; it replaces the old map-range
+// order.
 func (lt *LockTables) Release(t trace.Tid, m uint32, rt *vc.VC, idx int32) {
 	if int(m) >= len(lt.locks) {
 		return
@@ -303,40 +378,59 @@ func (lt *LockTables) Release(t trace.Tid, m uint32, rt *vc.VC, idx int32) {
 	if tb == nil {
 		return
 	}
-	for x := range tb.rs {
-		joinInto(tb.lr, x, rt)
-		tb.lrIdx[x] = idx
-		delete(tb.rs, x)
+	for _, x := range tb.touched {
+		cl := tb.cell(x)
+		if cl.mark&inReadSet != 0 {
+			cl.lr = joinInto(cl.lr, rt)
+			cl.lrIdx = idx
+		}
+		if cl.mark&inWriteSet != 0 {
+			cl.lw = joinInto(cl.lw, rt)
+			cl.lwIdx = idx
+		}
+		cl.mark = 0
 	}
-	for x := range tb.ws {
-		joinInto(tb.lw, x, rt)
-		tb.lwIdx[x] = idx
-		delete(tb.ws, x)
-	}
+	tb.touched = tb.touched[:0]
 }
 
-func joinInto(m map[uint32]*vc.VC, x uint32, src *vc.VC) {
-	if c := m[x]; c != nil {
-		c.Join(src)
-		return
+func joinInto(dst, src *vc.VC) *vc.VC {
+	if dst != nil {
+		dst.Join(src)
+		return dst
 	}
-	m[x] = src.Copy()
+	return src.Copy()
 }
 
-// Weight estimates retained rule (a) metadata in 8-byte words.
+// aCellWords is the footprint of one dense cell in 8-byte words (two
+// clock pointers, two int32 indices, the mark byte and padding).
+const aCellWords = 4
+
+// Weight estimates retained rule (a) metadata in 8-byte words, counting
+// every materialized page at its full dense footprint — the memory the
+// paged representation actually holds, including unused cells — plus the
+// clocks the live cells reference.
 func (lt *LockTables) Weight() int {
 	w := 0
 	for _, tb := range lt.locks {
 		if tb == nil {
 			continue
 		}
-		for _, c := range tb.lr {
-			w += c.Weight() + 4
+		w += (len(tb.touched)+1)/2 + len(tb.pages)
+		for _, p := range tb.pages {
+			if p == nil {
+				continue
+			}
+			w += pageSize * aCellWords
+			for i := range p {
+				cl := &p[i]
+				if cl.lr != nil {
+					w += cl.lr.Weight()
+				}
+				if cl.lw != nil {
+					w += cl.lw.Weight()
+				}
+			}
 		}
-		for _, c := range tb.lw {
-			w += c.Weight() + 4
-		}
-		w += 2 * (len(tb.lrIdx) + len(tb.lwIdx) + len(tb.rs) + len(tb.ws))
 	}
 	return w
 }

@@ -201,10 +201,10 @@ func TestLockTablesFTOMarksWritesAsReads(t *testing.T) {
 	lt.Release(0, 0, s.P[0], 2)
 	s.PostRelease(0, 0)
 	tb := lt.locks[0]
-	if tb.lr[3] == nil {
+	if tb.cell(3).lr == nil {
 		t.Error("FTO mode must fold writes into Lr")
 	}
-	if tb.lw[3] == nil {
+	if tb.cell(3).lw == nil {
 		t.Error("Lw must be populated")
 	}
 }
@@ -217,10 +217,10 @@ func TestLockTablesClearsAccessSets(t *testing.T) {
 	lt.WriteJoin(0, 0, 2, s, 1, nil)
 	lt.Release(0, 0, s.P[0], 2)
 	tb := lt.locks[0]
-	if len(tb.rs) != 0 || len(tb.ws) != 0 {
+	if len(tb.touched) != 0 || tb.cell(1).mark != 0 || tb.cell(2).mark != 0 {
 		t.Error("release must clear the ongoing access sets")
 	}
-	if tb.lr[1] == nil || tb.lw[2] == nil {
+	if tb.cell(1).lr == nil || tb.cell(2).lw == nil {
 		t.Error("release must fold access sets into Lr/Lw")
 	}
 }

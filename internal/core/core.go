@@ -133,6 +133,7 @@ type Analysis struct {
 	ht    []csList // current CS list per thread
 	col   *report.Collector
 	cases CaseCounts
+	vcs   vc.Pool // recycles retired read vector clocks
 	idx   int32
 	raced bool // one dynamic race per access event
 }
@@ -345,7 +346,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 		lrByT[tt] = a.ht[t]
 		v.lrByT = lrByT
 		v.lr = nil
-		rvc := vc.New(0)
+		rvc := a.vcs.Get()
 		rvc.Set(u, v.r.Clock())
 		rvc.Set(tt, c)
 		v.rvc = rvc
@@ -431,7 +432,10 @@ func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	v.lrByT = nil
 	v.w = cur
 	v.r = cur
-	v.rvc = nil
+	if v.rvc != nil {
+		a.vcs.Put(v.rvc) // the write retires the shared read clock
+		v.rvc = nil
+	}
 }
 
 // dropExtras removes entries owned by t and entries on the given locks

@@ -58,6 +58,7 @@ type Analysis struct {
 	vars []varState
 	col  *report.Collector
 	st   Stats
+	vcs  vc.Pool // recycles retired read vector clocks
 	idx  int32
 }
 
@@ -164,7 +165,7 @@ func (a *Analysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 			if !vc.EpochLeq(v.w, p) {
 				a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Index: int(idx), PriorTid: trace.Tid(v.w.Tid())})
 			}
-			v.rvc = vc.New(0)
+			v.rvc = a.vcs.Get()
 			v.rvc.Set(v.r.Tid(), v.r.Clock())
 			v.rvc.Set(tt, c)
 			v.r = vc.None
@@ -214,7 +215,10 @@ func (a *Analysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	}
 	v.w = cur
 	v.r = cur
-	v.rvc = nil
+	if v.rvc != nil {
+		a.vcs.Put(v.rvc) // the write retires the shared read clock
+		v.rvc = nil
+	}
 }
 
 // MetadataWeight implements analysis.Analysis.

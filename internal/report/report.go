@@ -74,6 +74,16 @@ func (c *Collector) Add(r Race) {
 // Dynamic returns the total number of dynamic races.
 func (c *Collector) Dynamic() int { return len(c.races) }
 
+// RaceCount returns the number of dynamic races recorded so far — the
+// cheap polling primitive for online delivery: callers watching a live
+// analysis compare RaceCount against a cursor and fetch only the new races
+// (RaceAt), instead of materializing the full race slice per event. It is
+// Dynamic under the name the polling contract documents.
+func (c *Collector) RaceCount() int { return c.Dynamic() }
+
+// RaceAt returns the i-th dynamic race in detection order.
+func (c *Collector) RaceAt(i int) Race { return c.races[i] }
+
 // Static returns the number of statically distinct races (program
 // locations).
 func (c *Collector) Static() int { return len(c.staticSet) }

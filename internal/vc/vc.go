@@ -197,3 +197,35 @@ func (v *VC) String() string {
 // Weight is the memory footprint of the clock in 8-byte words, used by the
 // benchmark harness to estimate retained analysis metadata.
 func (v *VC) Weight() int { return cap(v.c) }
+
+// Pool is a free list of scratch vector clocks for single-threaded reuse.
+// Analyses whose metadata transitions retire clocks deterministically (e.g.
+// a shared read vector clock discarded at the next write) recycle them
+// through a Pool instead of allocating a fresh clock per transition — one
+// of the hot-path allocation sinks the SmartTrack paper's ~1.5× slowdown
+// budget cannot afford. A Pool is not safe for concurrent use; each
+// analysis instance owns its own.
+type Pool struct {
+	free []*VC
+}
+
+// Get returns a zeroed clock, reusing a retired one when available.
+func (p *Pool) Get() *VC {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return v
+	}
+	return New(0)
+}
+
+// Put retires v into the pool. v must not be referenced elsewhere; its
+// contents are zeroed so a later Get starts from the zero clock.
+func (p *Pool) Put(v *VC) {
+	if v == nil {
+		return
+	}
+	clear(v.c)
+	p.free = append(p.free, v)
+}

@@ -68,6 +68,8 @@ type engineConfig struct {
 	onRace    func(RaceInfo)
 	hints     CapacityHints
 	unchecked bool
+	par       int
+	batch     int
 }
 
 // Option configures an Engine.
@@ -110,8 +112,11 @@ func WithVindication() Option {
 
 // WithOnRace installs an online race callback, invoked during Feed as
 // detections happen — the paper's "detect races during the analyzed
-// execution" shape. The callback runs synchronously on the feeding
-// goroutine; it must not call back into the engine.
+// execution" shape. On a sequential engine the callback runs synchronously
+// on the feeding goroutine; on a parallel engine (WithParallelism) it runs
+// on a single delivery goroutine, so invocations never race each other,
+// and races from one analysis arrive in detection order (RaceInfo.Seq).
+// The callback must not call back into the engine.
 func WithOnRace(fn func(RaceInfo)) Option {
 	return func(c *engineConfig) { c.onRace = fn }
 }
@@ -128,6 +133,28 @@ func WithUncheckedInput() Option {
 	return func(c *engineConfig) { c.unchecked = true }
 }
 
+// WithParallelism runs the engine's analyses on up to n worker goroutines
+// (capped at the fan-out size), each fed the event stream through a
+// batched single-producer ring — the pipelined fan-out that makes a
+// multi-analysis engine scale with cores instead of paying one full
+// analysis cost per Table 1 cell per event. n ≤ 1 keeps the sequential
+// engine. Feed must still be called from one goroutine at a time; the
+// Close report is identical to the sequential engine's, and OnRace
+// callbacks are delivered from a single goroutine in per-analysis
+// detection order (see RaceInfo.Seq). A good default is
+// runtime.GOMAXPROCS(0) when the fan-out has at least that many analyses.
+func WithParallelism(n int) Option {
+	return func(c *engineConfig) { c.par = n }
+}
+
+// WithBatchSize sets the number of events the parallel pipeline groups per
+// flush (default 1024). Larger batches amortize coordination further;
+// smaller batches reduce the latency of OnRace delivery between
+// synchronization events. Ignored by the sequential engine.
+func WithBatchSize(k int) Option {
+	return func(c *engineConfig) { c.batch = k }
+}
+
 // engineDet is one detector of the fan-out plus its race-delivery cursor.
 type engineDet struct {
 	entry analysis.Entry
@@ -142,6 +169,10 @@ type engineDet struct {
 // pass, reports races online through the optional OnRace callback, and
 // produces a final Report at Close.
 //
+// With WithParallelism the analyses run on worker goroutines fed by a
+// batched pipeline (see pipeline.go); Feed becomes a cheap enqueue and the
+// Close report is bit-identical to the sequential engine's.
+//
 // An Engine is not safe for concurrent use; callers (such as Runtime)
 // serialize Feed calls. After an error from Feed the engine is poisoned:
 // subsequent Feed and Close calls return the same error.
@@ -149,6 +180,7 @@ type Engine struct {
 	dets   []engineDet
 	chk    *trace.Checker
 	onRace func(RaceInfo)
+	pipe   *pipeline // non-nil iff the engine runs the parallel fan-out
 
 	keep   bool // retain events for vindication at Close
 	events []Event
@@ -207,6 +239,9 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		}
 		e.dets = append(e.dets, engineDet{entry: entry, a: entry.New(spec)})
 	}
+	if n := min(cfg.par, len(e.dets)); n > 1 {
+		e.startPipeline(n, cfg.batch)
+	}
 	return e, nil
 }
 
@@ -262,15 +297,35 @@ func (e *Engine) Feed(ev Event) error {
 		}
 	}
 	e.observe(ev)
+	if e.keep {
+		e.events = append(e.events, ev)
+	}
+	if e.pipe != nil {
+		if e.pipe.dead.Load() {
+			e.err = e.pipe.firstErr()
+			if e.err == nil {
+				e.err = errors.New("race: pipeline worker failed")
+			}
+			return e.err
+		}
+		if err := e.enqueue(ev); err != nil {
+			return err
+		}
+		e.fed++
+		return nil
+	}
 	for i := range e.dets {
 		d := &e.dets[i]
 		d.a.Handle(ev)
 		if e.onRace != nil {
-			races := d.a.Races().Races()
-			for ; d.seen < len(races); d.seen++ {
-				rc := races[d.seen]
+			// RaceCount is a cheap counter read; the race records are only
+			// touched on the (rare) events that detected something.
+			col := d.a.Races()
+			for n := col.RaceCount(); d.seen < n; d.seen++ {
+				rc := col.RaceAt(d.seen)
 				e.onRace(RaceInfo{
 					Analysis: d.entry.Name,
+					Seq:      d.seen,
 					Var:      rc.Var,
 					Loc:      uint32(rc.Loc),
 					Index:    rc.Index,
@@ -278,9 +333,6 @@ func (e *Engine) Feed(ev Event) error {
 				})
 			}
 		}
-	}
-	if e.keep {
-		e.events = append(e.events, ev)
 	}
 	e.fed++
 	return nil
@@ -353,6 +405,14 @@ func (e *Engine) Close() (*Report, error) {
 		return nil, errors.New("race: engine already closed")
 	}
 	e.closed = true
+	if e.pipe != nil {
+		// Flush the trailing batch and join the workers before reading any
+		// analysis state; worker completion is the happens-before edge that
+		// makes the collectors safe to read here.
+		if err := e.drainPipeline(); err != nil && e.err == nil {
+			e.err = err
+		}
+	}
 	if e.err != nil {
 		return nil, e.err
 	}

@@ -207,6 +207,11 @@ type RaceInfo struct {
 	// Analysis is the display name of the detecting analysis (set for
 	// engine callbacks; empty on single-analysis report listings).
 	Analysis string
+	// Seq is the race's per-analysis sequence number (0-based detection
+	// order). It is deterministic for a given event stream, including under
+	// a parallel engine, where callbacks from different analyses may
+	// interleave: within one analysis, Seq always increments by one.
+	Seq int
 	// Var is the racing variable's id.
 	Var uint32
 	// Loc is the static program location of the detecting access.
@@ -268,8 +273,8 @@ func (r *Report) Static() int { return r.col.Static() }
 // Races lists all dynamic races in detection order.
 func (r *Report) Races() []RaceInfo {
 	var out []RaceInfo
-	for _, rc := range r.col.Races() {
-		out = append(out, RaceInfo{Analysis: r.name, Var: rc.Var, Loc: uint32(rc.Loc), Index: rc.Index, Write: rc.Write})
+	for i, rc := range r.col.Races() {
+		out = append(out, RaceInfo{Analysis: r.name, Seq: i, Var: rc.Var, Loc: uint32(rc.Loc), Index: rc.Index, Write: rc.Write})
 	}
 	return out
 }

@@ -89,7 +89,10 @@ type RuntimeOption func(*Runtime)
 // into the linearization, giving record-and-analyze in one pass. Use
 // Finish to close open critical sections and obtain the engine's report.
 // The runtime serializes all feeding; the engine must not be fed from
-// anywhere else.
+// anywhere else. Attaching an engine built with WithParallelism moves the
+// analysis work off the recorded program's sequence points entirely: the
+// commit path becomes a batched enqueue and the Table 1 fan-out runs on
+// the pipeline's worker goroutines.
 func WithEngineAttached(eng *Engine) RuntimeOption {
 	return func(rt *Runtime) { rt.engine = eng }
 }
