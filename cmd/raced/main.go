@@ -1,0 +1,88 @@
+// Command raced is the race-detection ingestion server: a network front
+// end over race/server that lets many instrumented programs stream traces
+// concurrently into per-session analysis engines and query the reports.
+//
+//	raced                                  # HTTP on :7117, wire TCP on :7118
+//	raced -http :8080 -tcp :8081
+//	raced -max-sessions 256 -idle 2m
+//
+// Quick start against a generated trace:
+//
+//	tracegen -program avrora -scale 40000 -o avrora.trace
+//	raced &
+//	curl -s --data-binary @avrora.trace \
+//	    'localhost:7117/ingest?analysis=FTO-HB,ST-WDC' | jq .
+//	curl -s localhost:7117/metrics | jq .
+//
+// Streaming clients use the raw-TCP wire protocol (racedetect -remote, or
+// race/server.Dial from instrumented programs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/race/server"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", ":7117", "HTTP API listen address (empty disables)")
+		tcpAddr  = flag.String("tcp", ":7118", "wire-protocol TCP listen address (empty disables)")
+		maxSess  = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
+		queue    = flag.Int("queue", 32, "per-session pending-batch queue depth")
+		idle     = flag.Duration("idle", 5*time.Minute, "idle-session eviction timeout (negative disables)")
+	)
+	flag.Parse()
+	if *httpAddr == "" && *tcpAddr == "" {
+		fatalf("nothing to serve: both -http and -tcp are empty")
+	}
+
+	srv := server.New(server.Config{
+		MaxSessions: *maxSess,
+		QueueDepth:  *queue,
+		IdleTimeout: *idle,
+	})
+
+	errc := make(chan error, 2)
+	if *tcpAddr != "" {
+		lis, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "raced: wire protocol on %s\n", lis.Addr())
+		go func() { errc <- srv.ServeTCP(lis) }()
+	}
+	if *httpAddr != "" {
+		lis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "raced: HTTP API on %s\n", lis.Addr())
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { errc <- hs.Serve(lis) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "raced: %v: shutting down (%d sessions)\n", s, srv.ActiveSessions())
+		srv.Close()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "raced: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -12,16 +12,24 @@
 //	racedetect -analysis FTO-HB,ST-WCP,ST-WDC trace.bin
 //	racedetect -analysis ST-WDC -vindicate trace.bin
 //	racedetect -list
+//
+// With -remote the trace is not analyzed in-process: it streams over the
+// raced wire protocol to a detection server, and the printed report is the
+// one the server computed.
+//
+//	racedetect -remote localhost:7118 -analysis ST-WDC trace.bin
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/race"
+	"repro/race/server"
 )
 
 func main() {
@@ -33,6 +41,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "print only the summary lines")
 		maxReport = flag.Int("max", 20, "maximum dynamic races to print per analysis")
 		list      = flag.Bool("list", false, "list available analyses")
+		remote    = flag.String("remote", "", "stream to a raced server at this TCP address instead of analyzing in-process")
 	)
 	flag.Parse()
 
@@ -63,45 +72,74 @@ func main() {
 	}
 	defer f.Close()
 
-	opts := []race.Option{race.WithAnalysisNames(strings.Split(*names, ",")...)}
-	if *vind {
-		opts = append(opts, race.WithVindication())
-	}
-	if *online {
-		opts = append(opts, race.WithOnRace(func(r race.RaceInfo) {
-			kind := "read"
-			if r.Write {
-				kind = "write"
-			}
-			fmt.Printf("online: %s race on var %d at loc %d (event %d, %s)\n",
-				r.Analysis, r.Var, r.Loc, r.Index, kind)
-		}))
-	}
-	eng, err := race.NewEngine(opts...)
-	if err != nil {
-		fatalf("%v", err)
-	}
-
 	var src race.EventSource
 	if *text {
 		src = race.NewTextTraceDecoder(f)
 	} else {
 		src = race.NewTraceDecoder(f)
 	}
-	start := time.Now()
-	if err := eng.FeedSource(src); err != nil {
-		fatalf("streaming trace: %v", err)
-	}
-	rep, err := eng.Close()
-	if err != nil {
-		fatalf("%v", err)
+
+	analyses := strings.Split(*names, ",")
+	var (
+		rep   *race.Report
+		fed   int
+		start = time.Now()
+	)
+	if *remote != "" {
+		// Remote mode: the events stream over the wire protocol; analysis
+		// and (optional) vindication happen on the server.
+		if *online {
+			fmt.Fprintln(os.Stderr, "racedetect: -online has no effect with -remote: the wire protocol has no callback channel (poll GET /sessions/{id}/races on the server's HTTP API instead)")
+		}
+		client, err := server.Dial(*remote)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer client.Close()
+		sess, err := client.Open(server.SessionConfig{Analyses: analyses, Vindicate: *vind})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fed, err = feedSink(sess, src)
+		if err != nil {
+			fatalf("streaming trace to %s: %v", *remote, err)
+		}
+		if rep, err = sess.Close(); err != nil {
+			fatalf("remote analysis: %v", err)
+		}
+	} else {
+		opts := []race.Option{race.WithAnalysisNames(analyses...)}
+		if *vind {
+			opts = append(opts, race.WithVindication())
+		}
+		if *online {
+			opts = append(opts, race.WithOnRace(func(r race.RaceInfo) {
+				kind := "read"
+				if r.Write {
+					kind = "write"
+				}
+				fmt.Printf("online: %s race on var %d at loc %d (event %d, %s)\n",
+					r.Analysis, r.Var, r.Loc, r.Index, kind)
+			}))
+		}
+		eng, err := race.NewEngine(opts...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := eng.FeedSource(src); err != nil {
+			fatalf("streaming trace: %v", err)
+		}
+		if rep, err = eng.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fed = eng.Fed()
 	}
 	dur := time.Since(start)
 
 	// One pass, one throughput: the stream is fed to every analysis
 	// together, so per-analysis throughput is not separable here.
 	fmt.Printf("%d events through %d analyses in one pass (%.2f Mevents/s combined)\n",
-		eng.Fed(), len(rep.Analyses()), float64(eng.Fed())/1e6/dur.Seconds())
+		fed, len(rep.Analyses()), float64(fed)/1e6/dur.Seconds())
 	for _, name := range rep.Analyses() {
 		sub, _ := rep.ByAnalysis(name)
 		fmt.Printf("%s: %d statically distinct races, %d dynamic races\n",
@@ -130,6 +168,25 @@ func main() {
 			fmt.Println()
 			printed++
 		}
+	}
+}
+
+// feedSink drains an event source into an event sink (the remote session),
+// counting the events fed.
+func feedSink(sink race.EventSink, src race.EventSource) (int, error) {
+	n := 0
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := sink.Feed(ev); err != nil {
+			return n, err
+		}
+		n++
 	}
 }
 

@@ -17,12 +17,15 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	stdsync "sync"
 
 	"repro/race"
+	raceserver "repro/race/server"
 	sync "repro/race/sync"
 )
 
@@ -71,6 +74,11 @@ func (s *server) handle(g *sync.G, req request) {
 	s.wg.Done(g)
 }
 
+// analyses is the engine fan-out both the local and the remote variant
+// run: the HB baseline that misses the seeded race plus the three
+// SmartTrack predictive analyses that catch it.
+var analyses = []string{"FTO-HB", "ST-WCP", "ST-DC", "ST-WDC"}
+
 // run records and analyzes one serving session, writing online race
 // reports to w as they are detected. It returns the engine's final
 // report and every race delivered through the online callback.
@@ -80,7 +88,7 @@ func run(w io.Writer) (*race.Report, []race.RaceInfo, error) {
 		online   []race.RaceInfo
 	)
 	eng, err := race.NewEngine(
-		race.WithAnalysisNames("FTO-HB", "ST-WCP", "ST-DC", "ST-WDC"),
+		race.WithAnalysisNames(analyses...),
 		race.WithVindication(),
 		race.WithOnRace(func(r race.RaceInfo) {
 			onlineMu.Lock()
@@ -94,6 +102,14 @@ func run(w io.Writer) (*race.Report, []race.RaceInfo, error) {
 		return nil, nil, err
 	}
 	env := sync.NewEnv(race.WithEngineAttached(eng))
+	rep, err := serveTraffic(env)
+	return rep, online, err
+}
+
+// serveTraffic starts the instrumented server under env, drives the three
+// requests whose interleaving seeds the Figure 1 race, and finishes the
+// recording — the part shared by in-process and remote detection.
+func serveTraffic(env *sync.Env) (*race.Report, error) {
 	root := env.Root()
 	s := &server{}
 
@@ -158,15 +174,57 @@ func run(w io.Writer) (*race.Report, []race.RaceInfo, error) {
 	wa.Join(root)
 	wb.Join(root)
 
-	rep, err := env.Finish()
-	if err != nil {
-		return nil, nil, err
+	return env.Finish()
+}
+
+// runRemote is the end-to-end remote variant: the same instrumented server
+// records through a Runtime whose sink is a session on a raced instance,
+// so every committed event streams over the wire protocol and the report —
+// including the vindication verdict for the seeded Figure 1 race — is
+// computed by the remote detector. addr is a raced wire-protocol endpoint;
+// empty spins up an in-process raced on a loopback listener.
+func runRemote(w io.Writer, addr string) (*race.Report, error) {
+	if addr == "" {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer lis.Close()
+		raced := raceserver.New(raceserver.Config{})
+		defer raced.Close()
+		go raced.ServeTCP(lis)
+		addr = lis.Addr().String()
+		fmt.Fprintf(w, "remote: in-process raced on %s\n", addr)
 	}
-	return rep, online, nil
+	client, err := raceserver.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	sess, err := client.Open(raceserver.SessionConfig{Analyses: analyses, Vindicate: true})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "remote: streaming session %s\n", sess.ID())
+	env := sync.NewEnv(race.WithSink(sess))
+	return serveTraffic(env)
 }
 
 func main() {
-	rep, online, err := run(os.Stdout)
+	remote := flag.Bool("remote", false, "detect remotely: stream the recording to a raced server (-addr, default in-process)")
+	addr := flag.String("addr", "", "raced wire-protocol address for -remote (empty spins one up in-process)")
+	flag.Parse()
+
+	var (
+		rep    *race.Report
+		online []race.RaceInfo
+		err    error
+	)
+	if *remote {
+		rep, err = runRemote(os.Stdout, *addr)
+	} else {
+		rep, online, err = run(os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "httpserver:", err)
 		os.Exit(1)
@@ -183,5 +241,9 @@ func main() {
 		}
 		fmt.Printf("  %-6s  %d/%d%s\n", name, sub.Dynamic(), sub.Static(), verdict)
 	}
-	fmt.Printf("\nonline detections: %d — HB misses the Figure 1 race; WCP/DC/WDC catch it during execution\n", len(online))
+	if *remote {
+		fmt.Println("\ndetection ran on the raced server: HB misses the Figure 1 race; WCP/DC/WDC catch it over the wire")
+	} else {
+		fmt.Printf("\nonline detections: %d — HB misses the Figure 1 race; WCP/DC/WDC catch it during execution\n", len(online))
+	}
 }

@@ -69,3 +69,40 @@ func TestRunDeterministicOutcome(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteDetectionEndToEnd is the acceptance check for the raced
+// variant: the same instrumented server, recording through a Runtime whose
+// sink is a wire-protocol session on an in-process raced instance, yields
+// the same verdict — the seeded Figure 1 race is missed by happens-before,
+// caught by the predictive analyses, and vindicated — with all analysis
+// work done on the remote detector.
+func TestRemoteDetectionEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := runRemote(&buf, "")
+	if err != nil {
+		t.Fatalf("runRemote: %v", err)
+	}
+	hb, ok := rep.ByAnalysis("FTO-HB")
+	if !ok {
+		t.Fatal("missing FTO-HB sub-report")
+	}
+	if hb.Dynamic() != 0 {
+		t.Errorf("FTO-HB reported %d races over the wire; the observed execution is HB-ordered", hb.Dynamic())
+	}
+	for _, name := range []string{"ST-WCP", "ST-DC", "ST-WDC"} {
+		sub, ok := rep.ByAnalysis(name)
+		if !ok {
+			t.Fatalf("missing %s sub-report", name)
+		}
+		if sub.Dynamic() == 0 {
+			t.Errorf("%s missed the seeded predictable race remotely", name)
+			continue
+		}
+		res, ok := rep.Vindication(sub.Races()[0].Index)
+		if !ok {
+			t.Errorf("%s: vindication verdict lost in the report round-trip", name)
+		} else if !res.Vindicated {
+			t.Errorf("%s: seeded race not vindicated remotely: %s", name, res.Reason)
+		}
+	}
+}

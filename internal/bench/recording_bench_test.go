@@ -139,3 +139,31 @@ func BenchmarkRecordLockedSectionsParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkRecordAnalyzeAttached measures the one-pass record-and-analyze
+// path: accesses recorded into per-thread buffers, committed to an
+// attached SmartTrack-WDC engine at every sync point. Since PR 4 each
+// committed run enters the engine through one FeedBatch call instead of
+// event-at-a-time Feed — the feed-side batching that raced's ingestion
+// path shares.
+func BenchmarkRecordAnalyzeAttached(b *testing.B) {
+	eng, err := race.NewEngine(race.WithRelation(race.WDC), race.WithLevel(race.SmartTrack))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := race.NewRuntime(race.WithEngineAttached(eng))
+	t0 := rt.Main()
+	var keys [64]int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Read(t0, &keys[i&63])
+		if i%syncEvery == syncEvery-1 {
+			rt.VolatileWrite(t0, &keys)
+		}
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+	if err := rt.Err(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -39,11 +39,7 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 	}
 	rec := make([]byte, recSize)
 	for _, e := range tr.Events {
-		binary.LittleEndian.PutUint16(rec[0:], uint16(e.T))
-		rec[2] = uint8(e.Op)
-		rec[3] = 0
-		binary.LittleEndian.PutUint32(rec[4:], e.Targ)
-		binary.LittleEndian.PutUint32(rec[8:], uint32(e.Loc))
+		PutRecord(rec, e)
 		if _, err := bw.Write(rec); err != nil {
 			return err
 		}

@@ -62,6 +62,11 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// Valid reports whether o is one of the defined event kinds — the check
+// every deserialization boundary (binary records, report JSON witnesses)
+// applies before trusting an op byte.
+func (o Op) Valid() bool { return o < numOps }
+
 // IsAccess reports whether the op is a plain variable access (read or
 // write) — the events race checks apply to.
 func (o Op) IsAccess() bool { return o == OpRead || o == OpWrite }

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RecordSize is the fixed wire size of one encoded event: tid u16, op u8,
+// pad u8, targ u32, loc u32, little-endian. It is shared by the binary
+// trace codec (WriteBinary/Encoder/Decoder) and the raced wire protocol's
+// event frames, so an event batch on the wire is byte-compatible with the
+// body of a trace file.
+const RecordSize = recSize
+
+// PutRecord encodes e into b, which must be at least RecordSize bytes.
+func PutRecord(b []byte, e Event) {
+	binary.LittleEndian.PutUint16(b[0:], uint16(e.T))
+	b[2] = uint8(e.Op)
+	b[3] = 0
+	binary.LittleEndian.PutUint32(b[4:], e.Targ)
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.Loc))
+}
+
+// GetRecord decodes one event from b, which must be at least RecordSize
+// bytes, validating the op.
+func GetRecord(b []byte) (Event, error) {
+	e := Event{
+		T:    Tid(binary.LittleEndian.Uint16(b[0:])),
+		Op:   Op(b[2]),
+		Targ: binary.LittleEndian.Uint32(b[4:]),
+		Loc:  Loc(binary.LittleEndian.Uint32(b[8:])),
+	}
+	if !e.Op.Valid() {
+		return Event{}, fmt.Errorf("trace: invalid op %d in record", b[2])
+	}
+	return e, nil
+}

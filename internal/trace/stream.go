@@ -107,14 +107,9 @@ func (d *Decoder) Next() (Event, error) {
 		d.err = fmt.Errorf("trace: reading event %d: %w", d.read, err)
 		return Event{}, d.err
 	}
-	e := Event{
-		T:    Tid(binary.LittleEndian.Uint16(rec[0:])),
-		Op:   Op(rec[2]),
-		Targ: binary.LittleEndian.Uint32(rec[4:]),
-		Loc:  Loc(binary.LittleEndian.Uint32(rec[8:])),
-	}
-	if e.Op >= numOps {
-		d.err = fmt.Errorf("trace: event %d has invalid op %d", d.read, rec[2])
+	e, err := GetRecord(rec[:])
+	if err != nil {
+		d.err = fmt.Errorf("trace: event %d: %w", d.read, err)
 		return Event{}, d.err
 	}
 	d.read++
@@ -168,10 +163,7 @@ func (e *Encoder) Encode(ev Event) error {
 		return err
 	}
 	var rec [recSize]byte
-	binary.LittleEndian.PutUint16(rec[0:], uint16(ev.T))
-	rec[2] = uint8(ev.Op)
-	binary.LittleEndian.PutUint32(rec[4:], ev.Targ)
-	binary.LittleEndian.PutUint32(rec[8:], uint32(ev.Loc))
+	PutRecord(rec[:], ev)
 	if _, err := e.bw.Write(rec[:]); err != nil {
 		e.err = err
 	}

@@ -21,9 +21,16 @@ import (
 )
 
 // HBAnalysis is classic vector-clock happens-before analysis.
+//
+// The per-variable last-access clocks rx/wx are stored unboxed ([]vc.VC
+// values rather than []*vc.VC): one slice of inline clock headers instead
+// of a pointer array plus one heap object per variable, halving the
+// analysis's per-variable allocations. A zero-value clock means "no access
+// recorded" — real accesses always store a clock ≥ 1, so the ⊑ checks and
+// same-epoch tests read identically on absent state.
 type HBAnalysis struct {
 	s      *analysis.SyncState
-	rx, wx []*vc.VC
+	rx, wx []vc.VC
 	col    *report.Collector
 	idx    int32
 }
@@ -33,8 +40,8 @@ type HBAnalysis struct {
 func NewHB(spec analysis.Spec) *HBAnalysis {
 	return &HBAnalysis{
 		s:   analysis.NewSyncState(analysis.HB, spec),
-		rx:  make([]*vc.VC, spec.Vars),
-		wx:  make([]*vc.VC, spec.Vars),
+		rx:  make([]vc.VC, spec.Vars),
+		wx:  make([]vc.VC, spec.Vars),
 		col: report.NewCollector(),
 	}
 }
@@ -71,16 +78,12 @@ func (a *HBAnalysis) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	c := p.Get(vc.Tid(t))
 	analysis.EnsureLen(&a.rx, int(x)+1)
 	analysis.EnsureLen(&a.wx, int(x)+1)
-	rx := a.rx[x]
-	if rx != nil && rx.Get(vc.Tid(t)) == c {
+	rx := &a.rx[x]
+	if rx.Get(vc.Tid(t)) == c {
 		return // t already read x in this epoch
 	}
-	if wx := a.wx[x]; wx != nil && !wx.Leq(p) {
+	if wx := &a.wx[x]; !wx.Leq(p) {
 		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: false, Index: int(idx), PriorTid: culprit(wx, p)})
-	}
-	if rx == nil {
-		rx = vc.New(0)
-		a.rx[x] = rx
 	}
 	rx.Set(vc.Tid(t), c)
 }
@@ -90,17 +93,17 @@ func (a *HBAnalysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	c := p.Get(vc.Tid(t))
 	analysis.EnsureLen(&a.rx, int(x)+1)
 	analysis.EnsureLen(&a.wx, int(x)+1)
-	wx := a.wx[x]
-	if wx != nil && wx.Get(vc.Tid(t)) == c {
+	wx := &a.wx[x]
+	if wx.Get(vc.Tid(t)) == c {
 		return // t already wrote x in this epoch
 	}
 	raced := false
 	var prior trace.Tid = report.UnknownTid
-	if wx != nil && !wx.Leq(p) {
+	if !wx.Leq(p) {
 		raced = true
 		prior = culprit(wx, p)
 	}
-	if rx := a.rx[x]; rx != nil && !rx.Leq(p) {
+	if rx := &a.rx[x]; !rx.Leq(p) {
 		if !raced {
 			prior = culprit(rx, p)
 		}
@@ -109,25 +112,21 @@ func (a *HBAnalysis) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	if raced {
 		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: true, Index: int(idx), PriorTid: prior})
 	}
-	if wx == nil {
-		wx = vc.New(0)
-		a.wx[x] = wx
-	}
 	wx.Set(vc.Tid(t), c)
 }
 
 // MetadataWeight implements analysis.Analysis.
 func (a *HBAnalysis) MetadataWeight() int {
-	w := a.s.Weight()
-	for _, v := range a.rx {
-		if v != nil {
-			w += v.Weight() + 3
-		}
-	}
-	for _, v := range a.wx {
-		if v != nil {
-			w += v.Weight() + 3
-		}
+	return a.s.Weight() + accessClockWeight(a.rx) + accessClockWeight(a.wx)
+}
+
+// accessClockWeight totals the footprint of an unboxed last-access clock
+// table: 3 words of inline header per variable slot plus the materialized
+// clock storage.
+func accessClockWeight(clocks []vc.VC) int {
+	w := 3 * len(clocks)
+	for i := range clocks {
+		w += clocks[i].Weight()
 	}
 	return w
 }
@@ -152,7 +151,10 @@ type Predictive struct {
 	rb  *ccs.RuleB // nil for WDC
 	col *report.Collector
 
-	rx, wx []*vc.VC
+	// rx, wx are unboxed last-access clocks (see HBAnalysis): the zero
+	// clock means no access recorded, which every check already treats
+	// correctly (⊥ ⊑ everything, and never in the current epoch).
+	rx, wx []vc.VC
 
 	g         *graph.Graph
 	lastWrIdx []int32
@@ -173,8 +175,8 @@ func NewPredictive(rel analysis.Relation, spec analysis.Spec, buildGraph bool) *
 		s:   analysis.NewSyncState(rel, spec),
 		lt:  ccs.NewLockTables(spec, false),
 		col: report.NewCollector(),
-		rx:  make([]*vc.VC, spec.Vars),
-		wx:  make([]*vc.VC, spec.Vars),
+		rx:  make([]vc.VC, spec.Vars),
+		wx:  make([]vc.VC, spec.Vars),
 	}
 	if rel != analysis.WDC {
 		a.rb = ccs.NewRuleB(rel, spec, false)
@@ -187,6 +189,8 @@ func NewPredictive(rel analysis.Relation, spec analysis.Spec, buildGraph bool) *
 			a.lastWrIdx[i] = -1
 		}
 	}
+	// hasWrite needs no extra state: in graph mode lastWrIdx already says
+	// whether x has been written; without a graph no consumer asks.
 	return a
 }
 
@@ -266,24 +270,18 @@ func (a *Predictive) read(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	p := a.s.P[t]
 	c := p.Get(vc.Tid(t))
 	a.growVars(int(x) + 1)
-	rx := a.rx[x]
-	if rx != nil && rx.Get(vc.Tid(t)) == c {
+	rx := &a.rx[x]
+	if rx.Get(vc.Tid(t)) == c {
 		return
 	}
 	for _, m := range a.s.Held(t) {
 		a.lt.ReadJoin(t, m, x, a.s, idx, a.hook())
 	}
-	if wx := a.wx[x]; wx != nil {
-		if a.g != nil {
-			a.g.Edge(a.lastWrIdx[x], idx) // last-writer hard edge
-		}
-		if !wx.Leq(p) {
-			a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: false, Index: int(idx), PriorTid: culprit(wx, p)})
-		}
+	if a.g != nil && a.lastWrIdx[x] >= 0 {
+		a.g.Edge(a.lastWrIdx[x], idx) // last-writer hard edge
 	}
-	if rx == nil {
-		rx = vc.New(0)
-		a.rx[x] = rx
+	if wx := &a.wx[x]; !wx.Leq(p) {
+		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: false, Index: int(idx), PriorTid: culprit(wx, p)})
 	}
 	rx.Set(vc.Tid(t), c)
 }
@@ -292,8 +290,8 @@ func (a *Predictive) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	p := a.s.P[t]
 	c := p.Get(vc.Tid(t))
 	a.growVars(int(x) + 1)
-	wx := a.wx[x]
-	if wx != nil && wx.Get(vc.Tid(t)) == c {
+	wx := &a.wx[x]
+	if wx.Get(vc.Tid(t)) == c {
 		return
 	}
 	for _, m := range a.s.Held(t) {
@@ -301,11 +299,11 @@ func (a *Predictive) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	}
 	raced := false
 	var prior trace.Tid = report.UnknownTid
-	if wx != nil && !wx.Leq(p) {
+	if !wx.Leq(p) {
 		raced = true
 		prior = culprit(wx, p)
 	}
-	if rx := a.rx[x]; rx != nil && !rx.Leq(p) {
+	if rx := &a.rx[x]; !rx.Leq(p) {
 		if !raced {
 			prior = culprit(rx, p)
 		}
@@ -313,10 +311,6 @@ func (a *Predictive) write(t trace.Tid, x uint32, loc trace.Loc, idx int32) {
 	}
 	if raced {
 		a.col.Add(report.Race{Loc: loc, Var: x, Tid: t, Write: true, Index: int(idx), PriorTid: prior})
-	}
-	if wx == nil {
-		wx = vc.New(0)
-		a.wx[x] = wx
 	}
 	wx.Set(vc.Tid(t), c)
 	if a.g != nil {
@@ -330,16 +324,7 @@ func (a *Predictive) MetadataWeight() int {
 	if a.rb != nil {
 		w += a.rb.Weight()
 	}
-	for _, v := range a.rx {
-		if v != nil {
-			w += v.Weight() + 3
-		}
-	}
-	for _, v := range a.wx {
-		if v != nil {
-			w += v.Weight() + 3
-		}
-	}
+	w += accessClockWeight(a.rx) + accessClockWeight(a.wx)
 	if a.g != nil {
 		w += a.g.Weight()
 	}

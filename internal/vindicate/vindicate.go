@@ -30,7 +30,29 @@ type Result struct {
 	E1, E2 int
 	// Reason explains a failure.
 	Reason string
+	// WriteReadGap marks the known write→read limitation: the detecting
+	// access is a read whose conflicting writes are all ordered before it
+	// by the constraint graph's last-writer edges, so the witness search
+	// is structurally unable to place the pair adjacent — the race stays
+	// unverified for a reason that is a property of the search, not
+	// evidence against the race.
+	WriteReadGap bool
 }
+
+// reasonGraphOrdered is Pair's failure reason when the cone closure pulls
+// one racing access into the other's mandatory prefix.
+const reasonGraphOrdered = "accesses are ordered by the constraint graph"
+
+// ReasonWriteReadGap is the Reason reported with Result.WriteReadGap: no
+// witness can end with a write→read pair whose read is tied to that write
+// by its last-writer edge. Racing reads receive hard graph edges from their
+// last writer (the predicted-trace definition requires every non-racing
+// read to see its original writer, and the graph encodes that uniformly),
+// so the cone of the read always swallows the write and the pair is
+// reported as graph-ordered even though it races.
+const ReasonWriteReadGap = "write→read pair: the racing read's last-writer edge orders every " +
+	"conflicting write before it in the constraint graph, so the witness search cannot " +
+	"make the pair adjacent (known gap; the race is unverified, not refuted)"
 
 // Options tunes the search.
 type Options struct {
@@ -61,14 +83,28 @@ func FindPrior(tr *trace.Trace, e2 int) []int {
 }
 
 // Race attempts to vindicate the race whose detecting access is at trace
-// index e2, trying each conflicting prior access in turn.
+// index e2, trying each conflicting prior access in turn. A failure on a
+// racing read whose candidate writes were all graph-ordered before it is
+// flagged as the write→read gap (Result.WriteReadGap) rather than left as
+// a silent miss.
 func Race(tr *trace.Trace, g *graph.Graph, e2 int, opts Options) Result {
-	for _, e1 := range FindPrior(tr, e2) {
-		if r := Pair(tr, g, e1, e2, opts); r.Vindicated {
+	cands := FindPrior(tr, e2)
+	ordered := 0
+	for _, e1 := range cands {
+		r := Pair(tr, g, e1, e2, opts)
+		if r.Vindicated {
 			return r
 		}
+		if r.Reason == reasonGraphOrdered {
+			ordered++
+		}
 	}
-	return Result{E2: e2, Reason: "no conflicting prior access could be witnessed"}
+	res := Result{E2: e2, Reason: "no conflicting prior access could be witnessed"}
+	if tr.Events[e2].Op == trace.OpRead && len(cands) > 0 && ordered == len(cands) {
+		res.WriteReadGap = true
+		res.Reason = ReasonWriteReadGap
+	}
+	return res
 }
 
 // Pair attempts to vindicate the specific conflicting pair (e1, e2).
@@ -87,7 +123,7 @@ func Pair(tr *trace.Trace, g *graph.Graph, e1, e2 int, opts Options) Result {
 	v := newVindicator(tr, g)
 	cut, ok := v.cone(e1, e2)
 	if !ok {
-		res.Reason = "accesses are ordered by the constraint graph"
+		res.Reason = reasonGraphOrdered
 		return res
 	}
 	// The racing threads may not hold a common lock at the race.

@@ -1,0 +1,154 @@
+// Package wire implements the framed transport of the raced trace-ingestion
+// protocol: a thin session layer over the binary event encoding of package
+// trace, designed so an instrumented program (or a replayed trace file) can
+// stream events to a remote detector fleet over one TCP connection.
+//
+// Every frame is length-prefixed:
+//
+//	length u32 LE (payload bytes) | type u8 | payload
+//
+// A connection carries exactly one session:
+//
+//	client                                server
+//	------                                ------
+//	Hello {proto, session config}  ─────▶
+//	                               ◀─────  Ack {session id}   (or Error)
+//	Events [n × 12-byte records]   ─────▶                     (repeated)
+//	Flush                          ─────▶
+//	                               ◀─────  FlushAck {fed}     (or Error)
+//	EOF                            ─────▶
+//	                               ◀─────  Report {report JSON} (or Error)
+//
+// Event payloads reuse trace.PutRecord/GetRecord, so an Events frame body is
+// byte-compatible with the record section of a binary trace file. Flush is
+// the sync barrier: its acknowledgment means every event sent before it has
+// been applied to the session's analyses (and any ingestion error is
+// reported). EOF is the graceful end of stream; the server replies with the
+// final report and both sides close. Error frames carry a human-readable
+// message and terminate the session.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Proto is the wire protocol version carried in the Hello frame.
+const Proto = 1
+
+// Type identifies a frame.
+type Type uint8
+
+// Frame types. Client-to-server: Hello, Events, Flush, EOF. Server-to-
+// client: Ack, FlushAck, Report, Error.
+const (
+	THello Type = iota + 1
+	TAck
+	TEvents
+	TFlush
+	TFlushAck
+	TEOF
+	TReport
+	TError
+)
+
+var typeNames = map[Type]string{
+	THello: "hello", TAck: "ack", TEvents: "events", TFlush: "flush",
+	TFlushAck: "flush-ack", TEOF: "eof", TReport: "report", TError: "error",
+}
+
+// String returns the frame type's mnemonic.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// MaxPayload bounds a frame's payload so a corrupt or hostile length prefix
+// cannot make a reader allocate unboundedly. At 12 bytes per event record an
+// Events frame holds up to ~1.4M events — far above any sane batch.
+const MaxPayload = 16 << 20
+
+// MaxFrameEvents is the largest event count a single Events frame can
+// carry; senders with bigger runs chunk them across frames.
+const MaxFrameEvents = MaxPayload / trace.RecordSize
+
+const headerSize = 5 // u32 length + u8 type
+
+// WriteFrame writes one frame. Writers typically wrap w in a bufio.Writer
+// and flush at message boundaries (after Hello, Flush, EOF, and responses).
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: %v payload of %d bytes exceeds limit %d", t, len(payload), MaxPayload)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	hdr[4] = uint8(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, returning its type and payload. io.EOF is
+// returned untouched on a clean end between frames; a partial frame is an
+// io.ErrUnexpectedEOF-wrapping error.
+func ReadFrame(r io.Reader) (Type, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	t := Type(hdr[4])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("wire: %v frame declares %d payload bytes (limit %d)", t, n, MaxPayload)
+	}
+	var payload []byte
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, fmt.Errorf("wire: reading %v payload: %w", t, err)
+		}
+	}
+	return t, payload, nil
+}
+
+// AppendEvents appends the wire encoding of evs to dst and returns the
+// extended slice — the payload of an Events frame.
+func AppendEvents(dst []byte, evs []trace.Event) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, len(evs)*trace.RecordSize)...)
+	for i, e := range evs {
+		trace.PutRecord(dst[off+i*trace.RecordSize:], e)
+	}
+	return dst
+}
+
+// DecodeEvents parses an Events frame payload.
+func DecodeEvents(payload []byte) ([]trace.Event, error) {
+	if len(payload)%trace.RecordSize != 0 {
+		return nil, fmt.Errorf("wire: events payload of %d bytes is not a whole number of %d-byte records",
+			len(payload), trace.RecordSize)
+	}
+	evs := make([]trace.Event, len(payload)/trace.RecordSize)
+	for i := range evs {
+		e, err := trace.GetRecord(payload[i*trace.RecordSize:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: events record %d: %w", i, err)
+		}
+		evs[i] = e
+	}
+	return evs, nil
+}

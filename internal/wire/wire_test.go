@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[Type][]byte{
+		THello:  []byte(`{"proto":1}`),
+		TEvents: {1, 2, 3},
+		TFlush:  nil,
+		TReport: bytes.Repeat([]byte("x"), 100000),
+	}
+	order := []Type{THello, TEvents, TFlush, TReport}
+	for _, ty := range order {
+		if err := WriteFrame(&buf, ty, payloads[ty]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range order {
+		ty, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ty != want {
+			t.Fatalf("frame type %v, want %v", ty, want)
+		}
+		if !bytes.Equal(payload, payloads[want]) {
+			t.Fatalf("%v payload mismatch (%d vs %d bytes)", want, len(payload), len(payloads[want]))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TEvents, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil || err == io.EOF {
+			t.Fatalf("truncated at %d/%d bytes: err = %v, want partial-frame error", cut, len(full), err)
+		}
+	}
+}
+
+func TestReadFrameHostileLength(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:], MaxPayload+1)
+	hdr[4] = uint8(TEvents)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	evs := []trace.Event{
+		{T: 0, Op: trace.OpWrite, Targ: 7, Loc: 42},
+		{T: 3, Op: trace.OpAcquire, Targ: 1},
+		{T: 65535, Op: trace.OpClassAccess, Targ: 1 << 30, Loc: 1 << 31},
+	}
+	payload := AppendEvents(nil, evs)
+	if len(payload) != len(evs)*trace.RecordSize {
+		t.Fatalf("payload %d bytes, want %d", len(payload), len(evs)*trace.RecordSize)
+	}
+	got, err := DecodeEvents(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Errorf("event %d: %v != %v", i, got[i], evs[i])
+		}
+	}
+
+	if _, err := DecodeEvents(payload[:len(payload)-1]); err == nil {
+		t.Error("ragged events payload accepted")
+	}
+	bad := AppendEvents(nil, []trace.Event{{Op: trace.Op(200)}})
+	if _, err := DecodeEvents(bad); err == nil {
+		t.Error("invalid op accepted")
+	}
+}

@@ -301,12 +301,8 @@ func (e *Engine) Feed(ev Event) error {
 		e.events = append(e.events, ev)
 	}
 	if e.pipe != nil {
-		if e.pipe.dead.Load() {
-			e.err = e.pipe.firstErr()
-			if e.err == nil {
-				e.err = errors.New("race: pipeline worker failed")
-			}
-			return e.err
+		if err := e.checkPipe(); err != nil {
+			return err
 		}
 		if err := e.enqueue(ev); err != nil {
 			return err
@@ -318,24 +314,103 @@ func (e *Engine) Feed(ev Event) error {
 		d := &e.dets[i]
 		d.a.Handle(ev)
 		if e.onRace != nil {
-			// RaceCount is a cheap counter read; the race records are only
-			// touched on the (rare) events that detected something.
-			col := d.a.Races()
-			for n := col.RaceCount(); d.seen < n; d.seen++ {
-				rc := col.RaceAt(d.seen)
-				e.onRace(RaceInfo{
-					Analysis: d.entry.Name,
-					Seq:      d.seen,
-					Var:      rc.Var,
-					Loc:      uint32(rc.Loc),
-					Index:    rc.Index,
-					Write:    rc.Write,
-				})
-			}
+			e.deliverNew(d)
 		}
 	}
 	e.fed++
 	return nil
+}
+
+// deliverNew invokes the OnRace callback for d's not-yet-delivered races.
+// RaceCount is a cheap counter read; the race records are only touched on
+// the (rare) events that detected something.
+func (e *Engine) deliverNew(d *engineDet) {
+	col := d.a.Races()
+	for n := col.RaceCount(); d.seen < n; d.seen++ {
+		rc := col.RaceAt(d.seen)
+		e.onRace(RaceInfo{
+			Analysis: d.entry.Name,
+			Seq:      d.seen,
+			Var:      rc.Var,
+			Loc:      uint32(rc.Loc),
+			Index:    rc.Index,
+			Write:    rc.Write,
+		})
+	}
+}
+
+// checkPipe surfaces a dead pipeline as the engine's sticky error.
+func (e *Engine) checkPipe() error {
+	if e.pipe.dead.Load() {
+		e.err = e.pipe.firstErr()
+		if e.err == nil {
+			e.err = errors.New("race: pipeline worker failed")
+		}
+		return e.err
+	}
+	return nil
+}
+
+// FeedBatch consumes a run of events in one call — the feed-side batching
+// that makes per-thread runs from a Runtime (and event frames arriving at a
+// raced server) cheap to commit: one well-formedness pass, one id-space
+// pass, and a single append into the parallel pipeline's current batch,
+// instead of per-event enqueue bookkeeping.
+//
+// Semantics match feeding the events one at a time: if event i is
+// ill-formed, events [0, i) are fully analyzed, the engine is poisoned, and
+// the checker's error is returned. The one observable difference is OnRace
+// interleaving on a sequential engine: within a batch each analysis runs to
+// completion before the next (as the parallel pipeline always has), so
+// per-analysis detection order and Seq numbering are unchanged, but
+// callbacks of different analyses no longer interleave event-by-event.
+func (e *Engine) FeedBatch(evs []Event) error {
+	if e.closed {
+		return errors.New("race: FeedBatch on closed engine")
+	}
+	if e.err != nil {
+		return e.err
+	}
+	var verr error
+	valid := evs
+	if e.chk != nil {
+		for i, ev := range evs {
+			if err := e.chk.Step(ev); err != nil {
+				verr = fmt.Errorf("race: ill-formed event stream: %w", err)
+				valid = evs[:i]
+				break
+			}
+		}
+	}
+	for _, ev := range valid {
+		e.observe(ev)
+	}
+	if e.keep {
+		e.events = append(e.events, valid...)
+	}
+	if e.pipe != nil {
+		if err := e.checkPipe(); err != nil {
+			return err
+		}
+		if err := e.enqueueBatch(valid); err != nil {
+			return err
+		}
+	} else {
+		for i := range e.dets {
+			d := &e.dets[i]
+			for _, ev := range valid {
+				d.a.Handle(ev)
+			}
+			if e.onRace != nil {
+				e.deliverNew(d)
+			}
+		}
+	}
+	e.fed += len(valid)
+	if verr != nil {
+		e.err = verr
+	}
+	return verr
 }
 
 // FeedTrace streams a complete trace through the engine. The trace's
@@ -365,6 +440,21 @@ type EventSource interface {
 	Next() (Event, error)
 }
 
+// EventSink consumes an event stream and produces a final report — the
+// abstraction a Runtime records into. *Engine is the in-process sink; a
+// raced client session (race/server.RemoteSession) is the remote one, which
+// is how an instrumented program streams its trace to a detector fleet
+// instead of analyzing locally. Sinks follow Engine's contract: calls are
+// serialized by the caller, errors are sticky, and Close finalizes the
+// stream and returns the report.
+type EventSink interface {
+	Feed(Event) error
+	FeedBatch([]Event) error
+	Close() (*Report, error)
+}
+
+var _ EventSink = (*Engine)(nil)
+
 // FeedSource drains an EventSource into the engine, so arbitrarily large
 // trace files pipe through without being materialized.
 func (e *Engine) FeedSource(src EventSource) error {
@@ -392,6 +482,27 @@ func (e *Engine) bufferedTrace() *Trace {
 		Locks:     e.locks,
 		Volatiles: e.vols,
 		Classes:   e.classes,
+	}
+}
+
+// Abort discards the engine without computing a report: pipeline workers
+// (if any) flush and join so no goroutines leak, and subsequent Feed and
+// Close calls fail. It is the cheap alternative to Close for a stream
+// whose results no longer matter — Close on a vindicating engine replays
+// the whole retained stream to vindicate its races; Abort does not. The
+// server layer aborts the engines of evicted and disconnected sessions.
+func (e *Engine) Abort() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.pipe != nil {
+		if err := e.drainPipeline(); err != nil && e.err == nil {
+			e.err = err
+		}
+	}
+	if e.err == nil {
+		e.err = errors.New("race: engine aborted")
 	}
 }
 

@@ -21,6 +21,7 @@ package race
 // from the next Feed or from Close.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,10 +43,13 @@ const (
 )
 
 // eventBatch is one batch of events shared by every worker; refs counts
-// the workers still due to process it, and the last one recycles it.
+// the workers still due to process it, and the last one recycles it. ack,
+// when non-nil, is closed by the consuming worker once the batch has been
+// fully processed — the barrier primitive Engine.Sync rides on.
 type eventBatch struct {
 	evs  []Event
 	refs atomic.Int32
+	ack  chan struct{}
 }
 
 // batchPool recycles event batches between the producer and the last
@@ -167,12 +171,18 @@ type pworker struct {
 	done chan struct{}
 }
 
+// syncSentinel marks a RaceInfo flowing through raceCh as Engine.Sync's
+// drainer barrier rather than a real race (Seq is 0-based for real races,
+// so -1 can never collide).
+const syncSentinel = -1
+
 // pipeline is the engine's parallel runtime state.
 type pipeline struct {
 	workers   []*pworker
 	batchSize int
 	cur       *eventBatch
 	raceCh    chan RaceInfo
+	syncAck   chan struct{} // drainer acks Sync's sentinel here
 	drainDone chan struct{}
 
 	mu     sync.Mutex
@@ -205,14 +215,21 @@ func (e *Engine) startPipeline(n, batchSize int) {
 	p := &pipeline{batchSize: batchSize, cur: newBatch()}
 	if e.onRace != nil {
 		p.raceCh = make(chan RaceInfo, 256)
+		p.syncAck = make(chan struct{})
 		p.drainDone = make(chan struct{})
 		go func() {
 			defer close(p.drainDone)
 			// The drainer must keep consuming even after a callback
 			// panics — workers block sending to raceCh otherwise — so each
 			// delivery recovers individually and a failed callback poisons
-			// the engine and mutes further deliveries.
+			// the engine and mutes further deliveries. Sync's sentinel
+			// rides the same channel, so acking it means every race queued
+			// before the barrier has been delivered.
 			for ri := range p.raceCh {
+				if ri.Seq == syncSentinel {
+					p.syncAck <- struct{}{}
+					continue
+				}
 				if !p.cbDead {
 					p.deliver(e.onRace, ri)
 				}
@@ -233,6 +250,7 @@ func (e *Engine) startPipeline(n, batchSize int) {
 func newBatch() *eventBatch {
 	b := batchPool.Get().(*eventBatch)
 	b.evs = b.evs[:0]
+	b.ack = nil
 	return b
 }
 
@@ -261,6 +279,9 @@ func (e *Engine) runWorker(p *pipeline, w *pworker) {
 			if p.raceCh != nil {
 				e.deliverRaces(d, p.raceCh)
 			}
+		}
+		if b.ack != nil {
+			close(b.ack)
 		}
 		if b.refs.Add(-1) == 0 {
 			batchPool.Put(b)
@@ -314,6 +335,28 @@ func (e *Engine) enqueue(ev Event) error {
 	return nil
 }
 
+// enqueueBatch appends a whole run of events to the current batch in one
+// append — the pipeline half of FeedBatch. Flush triggers: batch size,
+// and (when an OnRace callback wants timely delivery) the presence of any
+// synchronization event in the run — run-granular rather than Feed's
+// event-granular sync flushing, so commit-per-run batching is kept even
+// on engines with callbacks installed (every raced session has one).
+func (e *Engine) enqueueBatch(evs []Event) error {
+	p := e.pipe
+	p.cur.evs = append(p.cur.evs, evs...)
+	if len(p.cur.evs) >= p.batchSize {
+		return e.flushBatch()
+	}
+	if p.raceCh != nil {
+		for _, ev := range evs {
+			if ev.Op.IsSync() {
+				return e.flushBatch()
+			}
+		}
+	}
+	return nil
+}
+
 // flushBatch publishes the current batch to every worker ring.
 func (e *Engine) flushBatch() error {
 	p := e.pipe
@@ -335,6 +378,68 @@ func (e *Engine) flushBatch() error {
 			}
 			return e.err
 		}
+	}
+	return nil
+}
+
+// Sync is a mid-stream barrier: it returns once every event fed so far
+// has been applied by every analysis, surfacing any pipeline error that
+// occurred on the way. On a sequential engine (or before any events) it
+// is a no-op — analyses there run synchronously in Feed/FeedBatch. The
+// raced server uses it to give the wire protocol's flush frame real
+// applied-up-to-here semantics on parallel sessions. Like Feed, Sync must
+// not race with other engine calls.
+func (e *Engine) Sync() error {
+	if e.closed {
+		return errors.New("race: Sync on closed engine")
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.pipe == nil {
+		return nil
+	}
+	p := e.pipe
+	if err := e.checkPipe(); err != nil {
+		return err
+	}
+	if err := e.flushBatch(); err != nil {
+		return err
+	}
+	workerDead := func() error {
+		if e.err = p.firstErr(); e.err == nil {
+			e.err = errors.New("race: pipeline worker exited early")
+		}
+		return e.err
+	}
+	// One empty acked batch per worker ring: its ack closing means that
+	// worker consumed everything enqueued before it. The select against
+	// the worker's done channel keeps a dying worker from holding the
+	// barrier open forever.
+	for _, w := range p.workers {
+		b := newBatch()
+		b.ack = make(chan struct{})
+		b.refs.Store(1)
+		if !w.ring.push(b) {
+			return workerDead()
+		}
+		select {
+		case <-b.ack:
+		case <-w.done:
+			return workerDead()
+		}
+	}
+	if p.raceCh != nil {
+		// The workers have pushed every pre-barrier race into raceCh; a
+		// sentinel behind them makes the drainer's ack mean those races
+		// have also been DELIVERED, so state observed through the OnRace
+		// callback (e.g. a raced session's live race list) is current.
+		p.raceCh <- RaceInfo{Seq: syncSentinel}
+		<-p.syncAck
+	}
+	if err := p.firstErr(); err != nil {
+		e.err = err
+		return err
 	}
 	return nil
 }

@@ -40,6 +40,7 @@
 package race
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -302,11 +303,25 @@ type VindicationResult struct {
 	Reason string
 }
 
+// ErrWriteReadRace is returned by Vindicate for a known structural gap in
+// the witness search: a write→read race pair cannot be vindicated, because
+// the racing read carries a hard last-writer edge in the constraint graph
+// that orders every conflicting write before it — the search concludes
+// "graph-ordered" even though the pair races. The race is unverified, not
+// refuted; detect the case with errors.Is and treat the result's Reason as
+// the explanation. (Write→write and read→write pairs are unaffected.)
+var ErrWriteReadRace = errors.New("race: write→read race pairs cannot be vindicated (last-writer graph edge; known witness-search gap)")
+
 // Vindicate checks whether the race detected at trace index raceIndex is a
 // true predictable race, by re-running an unoptimized WDC analysis that
 // builds the event constraint graph and then searching for a verified
 // witness reordering (§4.3 of the paper: a recorded run using SmartTrack
 // can replay under a graph-building analysis to check its races).
+//
+// When the detecting access is a read racing with earlier writes, the
+// search is structurally unable to succeed and Vindicate returns
+// ErrWriteReadRace alongside the (unvindicated) result instead of failing
+// silently.
 func Vindicate(tr *Trace, raceIndex int) (VindicationResult, error) {
 	if tr == nil {
 		return VindicationResult{}, fmt.Errorf("race: Vindicate of nil trace")
@@ -319,7 +334,11 @@ func Vindicate(tr *Trace, raceIndex int) (VindicationResult, error) {
 		a.Handle(e)
 	}
 	res := vindicate.Race(tr, a.Graph(), raceIndex, vindicate.Options{})
-	return VindicationResult{Vindicated: res.Vindicated, Witness: res.Witness, Reason: res.Reason}, nil
+	out := VindicationResult{Vindicated: res.Vindicated, Witness: res.Witness, Reason: res.Reason}
+	if res.WriteReadGap {
+		return out, ErrWriteReadRace
+	}
+	return out, nil
 }
 
 // VerifyWitness independently checks a witness against the predicted-trace

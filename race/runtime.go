@@ -54,7 +54,7 @@ type Runtime struct {
 	// mu guards stream, engine feeding, err, and thread creation.
 	mu     sync.Mutex
 	stream []trace.Event
-	engine *Engine
+	engine EventSink
 	err    error
 
 	threads atomic.Pointer[[]*threadState]
@@ -95,6 +95,16 @@ type RuntimeOption func(*Runtime)
 // the pipeline's worker goroutines.
 func WithEngineAttached(eng *Engine) RuntimeOption {
 	return func(rt *Runtime) { rt.engine = eng }
+}
+
+// WithSink attaches an arbitrary event sink in place of an in-process
+// engine — most usefully a raced client session (race/server.RemoteSession),
+// which turns the runtime into the recording half of a remote detector:
+// committed events stream over the wire and Finish returns the report the
+// server computed. The sink is fed under the same serialization contract as
+// an attached engine.
+func WithSink(sink EventSink) RuntimeOption {
+	return func(rt *Runtime) { rt.engine = sink }
 }
 
 // NewRuntime returns a recorder with the main goroutine registered as
@@ -204,18 +214,22 @@ func (ts *threadState) drain() []trace.Event {
 }
 
 // commit merges pending event runs into the global linearization, feeding
-// an attached engine. Runs are appended in argument order.
+// an attached engine. Runs are appended in argument order. Each run commits
+// into the engine as one batch (FeedBatch): a per-thread buffer of accesses
+// lands in the analysis pipeline with a single append instead of
+// event-at-a-time Feed, so the recorded program's sequence points pay one
+// commit per run rather than per event.
 func (rt *Runtime) commit(runs ...[]trace.Event) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for _, run := range runs {
+		if len(run) == 0 {
+			continue
+		}
 		rt.stream = append(rt.stream, run...)
 		if rt.engine != nil && rt.err == nil {
-			for _, e := range run {
-				if err := rt.engine.Feed(e); err != nil {
-					rt.err = err
-					break
-				}
+			if err := rt.engine.FeedBatch(run); err != nil {
+				rt.err = err
 			}
 		}
 	}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/wire"
+	"repro/race"
+)
+
+// Client is the wire-protocol client side: it turns a TCP connection to a
+// raced instance into a race.EventSink, so an instrumented program's
+// Runtime can stream its trace to a remote detector instead of analyzing
+// in-process (race.WithSink).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a raced TCP endpoint.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dialing raced: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for in-process
+// listeners in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+}
+
+// Close closes the underlying connection. A RemoteSession's Close already
+// ends the connection's session; Client.Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// DefaultClientBatch is the event count at which a RemoteSession ships its
+// pending batch as an Events frame.
+const DefaultClientBatch = 2048
+
+// Open performs the session handshake and returns the connection's session.
+// A connection carries exactly one session.
+func (c *Client) Open(cfg SessionConfig) (*RemoteSession, error) {
+	payload, err := json.Marshal(helloPayload{Proto: wire.Proto, Session: cfg})
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(c.bw, wire.THello, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	t, resp, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading handshake response: %w", err)
+	}
+	if t == wire.TError {
+		return nil, fmt.Errorf("server: session rejected: %s", resp)
+	}
+	if t != wire.TAck {
+		return nil, fmt.Errorf("server: expected ack frame, got %v", t)
+	}
+	var ack ackPayload
+	if err := json.Unmarshal(resp, &ack); err != nil {
+		return nil, fmt.Errorf("server: bad ack payload: %w", err)
+	}
+	return &RemoteSession{c: c, id: ack.Session, batchSize: DefaultClientBatch}, nil
+}
+
+// RemoteSession is one open session on a raced server. It implements
+// race.EventSink: Feed buffers events client-side and ships them in framed
+// batches, Flush is the wire sync barrier, and Close ends the stream and
+// returns the server-computed report. Like an Engine, a RemoteSession is
+// driven from one goroutine at a time and errors are sticky.
+type RemoteSession struct {
+	c         *Client
+	id        string
+	batchSize int
+	buf       []race.Event
+	scratch   []byte // reused frame-payload encoding buffer
+	closed    bool
+	err       error
+}
+
+var _ race.EventSink = (*RemoteSession)(nil)
+
+// ID returns the server-assigned session id (for the report API:
+// GET /sessions/{id}/races).
+func (s *RemoteSession) ID() string { return s.id }
+
+// SetBatchSize tunes how many events accumulate before a frame ships.
+func (s *RemoteSession) SetBatchSize(n int) {
+	if n > 0 {
+		s.batchSize = n
+	}
+}
+
+func (s *RemoteSession) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// serverError converts an Error frame read mid-protocol into the session's
+// sticky error.
+func (s *RemoteSession) serverError(payload []byte) error {
+	return s.fail(fmt.Errorf("server: %s", payload))
+}
+
+// Feed buffers one event, shipping the pending batch when full.
+func (s *RemoteSession) Feed(ev race.Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return errors.New("server: Feed on closed remote session")
+	}
+	s.buf = append(s.buf, ev)
+	if len(s.buf) >= s.batchSize {
+		return s.ship()
+	}
+	return nil
+}
+
+// FeedBatch buffers a run of events, shipping when the pending batch fills.
+func (s *RemoteSession) FeedBatch(evs []race.Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return errors.New("server: FeedBatch on closed remote session")
+	}
+	s.buf = append(s.buf, evs...)
+	if len(s.buf) >= s.batchSize {
+		return s.ship()
+	}
+	return nil
+}
+
+// ship sends the pending batch as Events frames, chunking runs larger
+// than a frame's payload limit across several frames.
+func (s *RemoteSession) ship() error {
+	for off := 0; off < len(s.buf); off += wire.MaxFrameEvents {
+		end := min(off+wire.MaxFrameEvents, len(s.buf))
+		s.scratch = wire.AppendEvents(s.scratch[:0], s.buf[off:end])
+		if err := wire.WriteFrame(s.c.bw, wire.TEvents, s.scratch); err != nil {
+			s.buf = s.buf[:0]
+			return s.fail(err)
+		}
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Flush ships pending events and blocks until the server acknowledges that
+// every event sent so far has been applied — surfacing any server-side
+// ingestion error (ill-formed stream, poisoned analysis) synchronously.
+func (s *RemoteSession) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return errors.New("server: Flush on closed remote session")
+	}
+	if err := s.ship(); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(s.c.bw, wire.TFlush, nil); err != nil {
+		return s.fail(err)
+	}
+	if err := s.c.bw.Flush(); err != nil {
+		return s.fail(err)
+	}
+	t, payload, err := wire.ReadFrame(s.c.br)
+	if err != nil {
+		return s.fail(err)
+	}
+	switch t {
+	case wire.TFlushAck:
+		return nil
+	case wire.TError:
+		return s.serverError(payload)
+	default:
+		return s.fail(fmt.Errorf("server: expected flush-ack, got %v", t))
+	}
+}
+
+// Close ends the stream (EOF frame) and returns the report the server
+// computed for the session, reconstructed from its canonical JSON form.
+func (s *RemoteSession) Close() (*race.Report, error) {
+	if s.closed {
+		return nil, errors.New("server: remote session already closed")
+	}
+	s.closed = true
+	if s.err != nil {
+		return nil, s.err
+	}
+	if err := s.ship(); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(s.c.bw, wire.TEOF, nil); err != nil {
+		return nil, s.fail(err)
+	}
+	if err := s.c.bw.Flush(); err != nil {
+		return nil, s.fail(err)
+	}
+	t, payload, err := wire.ReadFrame(s.c.br)
+	if err != nil {
+		return nil, s.fail(fmt.Errorf("server: reading report: %w", err))
+	}
+	switch t {
+	case wire.TReport:
+		rep, err := race.ReportFromJSON(payload)
+		if err != nil {
+			return nil, s.fail(err)
+		}
+		return rep, nil
+	case wire.TError:
+		return nil, s.serverError(payload)
+	default:
+		return nil, s.fail(fmt.Errorf("server: expected report frame, got %v", t))
+	}
+}

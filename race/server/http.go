@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/race"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /sessions                 open a session (body: SessionConfig JSON)
+//	GET    /sessions                 list live session ids
+//	POST   /sessions/{id}/events     ingest raw 12-byte event records (body)
+//	POST   /sessions/{id}/flush      sync barrier; reports ingestion errors
+//	POST   /sessions/{id}/close      end the stream; returns the report JSON
+//	GET    /sessions/{id}/races      report JSON (live snapshot while open)
+//	DELETE /sessions/{id}            abort the session, discarding the report
+//	POST   /ingest                   one-shot: body is a binary trace file;
+//	                                 runs a session end to end, returns the
+//	                                 report (query: analysis=A,B&vindicate=1)
+//	GET    /healthz                  liveness
+//	GET    /metrics                  expvar-style counters
+//
+// Event bodies reuse the trace codec's record encoding, so POST
+// /sessions/{id}/events accepts exactly the bytes an Events wire frame
+// carries, and POST /ingest accepts an unmodified tracegen output file.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleOpen)
+	mux.HandleFunc("GET /sessions", s.handleList)
+	mux.HandleFunc("POST /sessions/{id}/events", s.withSession(s.handleEvents))
+	mux.HandleFunc("POST /sessions/{id}/flush", s.withSession(s.handleFlush))
+	mux.HandleFunc("POST /sessions/{id}/close", s.withSession(s.handleClose))
+	mux.HandleFunc("GET /sessions/{id}/races", s.handleRaces)
+	mux.HandleFunc("DELETE /sessions/{id}", s.withSession(s.handleAbort))
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError maps session-manager errors to status codes.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrServerFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrServerClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrEvicted):
+		code = http.StatusConflict
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, ok := s.Session(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown session", http.StatusNotFound)
+			return
+		}
+		h(w, r, sess)
+	}
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			http.Error(w, fmt.Sprintf("bad session config: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	sess, err := s.OpenSession(cfg)
+	if err != nil {
+		openError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]string{"session": sess.ID})
+}
+
+// openError maps OpenSession failures: server-side conditions keep their
+// operational codes, anything else (unknown analysis name, N/A Table 1
+// cell) is the caller's configuration — a 400, not a server fault.
+func openError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrServerFull) || errors.Is(err, ErrServerClosed) {
+		httpError(w, err)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	ids := s.SessionIDs()
+	sort.Strings(ids)
+	writeJSON(w, map[string]any{"sessions": ids})
+}
+
+// handleEvents streams raw event records from the request body into the
+// session, batching every ingestBatch events. The body length need not be
+// known: chunked uploads work, so a live client can keep one request open.
+const ingestBatch = 4096
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, sess *Session) {
+	br := bufio.NewReaderSize(r.Body, 1<<16)
+	var (
+		rec   [trace.RecordSize]byte
+		batch = make([]race.Event, 0, ingestBatch)
+		fed   uint64
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		run := batch
+		batch = make([]race.Event, 0, ingestBatch)
+		fed += uint64(len(run))
+		return sess.Feed(run)
+	}
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf("truncated event record: %v", err), http.StatusBadRequest)
+			return
+		}
+		ev, err := trace.GetRecord(rec[:])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		batch = append(batch, ev) // race.Event is an alias of trace.Event
+		if len(batch) >= ingestBatch {
+			if err := flush(); err != nil {
+				httpError(w, err)
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"fed": fed})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request, sess *Session) {
+	if err := sess.Flush(); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"fed": sess.Fed()})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, _ *http.Request, sess *Session) {
+	rep, err := sess.Close()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeReport(w, rep)
+}
+
+// handleRaces serves races for both live and finished sessions: while a
+// session is streaming it returns a snapshot of the races delivered so
+// far; once the session has closed it returns the canonical report JSON
+// (retained for the last maxFinished terminated sessions). A session that
+// ended without a report (aborted, evicted, poisoned) reports its
+// terminal error instead.
+func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if sess, ok := s.Session(id); ok {
+		writeJSON(w, map[string]any{
+			"session": sess.ID,
+			"fed":     sess.Fed(),
+			"races":   sess.Races(),
+		})
+		return
+	}
+	sess, ok := s.Finished(id)
+	if !ok {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	rep, err := sess.Close() // idempotent: returns the recorded outcome
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeReport(w, rep)
+}
+
+func (s *Server) handleAbort(w http.ResponseWriter, _ *http.Request, sess *Session) {
+	sess.abort(fmt.Errorf("server: session aborted by client"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleIngest is the one-shot batch path: the body is a complete binary
+// trace file (tracegen output), analyzed in a throwaway session whose
+// report is the response.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if v := r.URL.Query().Get("vindicate"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad vindicate value %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		cfg.Vindicate = on
+	}
+	if names := r.URL.Query().Get("analysis"); names != "" {
+		cfg.Analyses = strings.Split(names, ",")
+	}
+	sess, err := s.OpenSession(cfg)
+	if err != nil {
+		openError(w, err)
+		return
+	}
+	dec := trace.NewDecoder(r.Body)
+	batch := make([]race.Event, 0, ingestBatch)
+	for {
+		ev, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sess.abort(err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		batch = append(batch, ev)
+		if len(batch) >= ingestBatch {
+			if err := sess.Feed(batch); err != nil {
+				sess.Close()
+				httpError(w, err)
+				return
+			}
+			batch = make([]race.Event, 0, ingestBatch)
+		}
+	}
+	if err := sess.Feed(batch); err != nil {
+		sess.Close()
+		httpError(w, err)
+		return
+	}
+	rep, err := sess.Close()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeReport(w, rep)
+}
+
+// writeReport serves a report's canonical JSON form — raced's half of the
+// byte-identical remote == in-process conformance contract.
+func writeReport(w http.ResponseWriter, rep *race.Report) {
+	doc, err := json.Marshal(rep)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"ok": true, "active_sessions": s.ActiveSessions()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Metrics())
+}

@@ -1,0 +1,669 @@
+// Package server turns the race detection library into a multi-tenant
+// service: a Server owns one streaming race.Engine per session, so many
+// instrumented programs can stream their traces concurrently to a shared
+// detector and query the resulting reports over the network — the paper's
+// "always-on detection in deployed settings" operated as infrastructure
+// rather than a library call.
+//
+// The layering:
+//
+//	cmd/raced            HTTP + raw-TCP front ends (this package's
+//	                     Handler and ServeTCP), flags, lifecycle
+//	race/server          session manager: admission control, per-session
+//	                     ingest queues with backpressure, idle eviction,
+//	                     panic isolation, metrics
+//	race                 one race.Engine per session (any Table 1 fan-out)
+//	internal/wire        framed transport shared with the client
+//
+// Sessions are isolated: every engine runs behind a dedicated feeder
+// goroutine with a bounded work queue (a slow analysis backpressures only
+// its own connection), and an analysis panic poisons only its session — the
+// feeder recovers it into the session's sticky error while the server keeps
+// serving every other tenant.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/race"
+)
+
+// SessionConfig is a client's requested engine configuration — the payload
+// of the wire protocol's Hello frame and of POST /sessions.
+type SessionConfig struct {
+	// Analyses lists Table 1 analyses by display name (see race.Detectors).
+	// Empty runs the engine's default, SmartTrack-WDC.
+	Analyses []string `json:"analyses,omitempty"`
+	// Vindicate makes the session's engine retain the stream and vindicate
+	// detected races at close (memory proportional to the stream).
+	Vindicate bool `json:"vindicate,omitempty"`
+	// Parallelism and BatchSize configure the engine's worker pipeline
+	// (race.WithParallelism / race.WithBatchSize).
+	Parallelism int `json:"parallelism,omitempty"`
+	BatchSize   int `json:"batch_size,omitempty"`
+	// Hints pre-size detector state for the session's expected id spaces.
+	Hints race.CapacityHints `json:"hints,omitzero"`
+}
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// MaxSessions bounds concurrently open sessions (admission control);
+	// OpenSession returns ErrServerFull beyond it. Default 64.
+	MaxSessions int
+	// QueueDepth is each session's pending-batch queue length. A full queue
+	// blocks that session's producer (its connection), never the server:
+	// per-session backpressure. Default 32.
+	QueueDepth int
+	// IdleTimeout evicts sessions that have not ingested anything for this
+	// long (their engines close, the final report is discarded). Zero means
+	// the default of 5 minutes; negative disables eviction.
+	IdleTimeout time.Duration
+
+	// now and newSink are test seams.
+	now     func() time.Time
+	newSink func(SessionConfig, func(race.RaceInfo)) (engineSink, error)
+}
+
+const (
+	defaultMaxSessions = 64
+	defaultQueueDepth  = 32
+	defaultIdleTimeout = 5 * time.Minute
+)
+
+// Errors returned by the session manager.
+var (
+	ErrServerFull    = errors.New("server: session limit reached, try again later")
+	ErrServerClosed  = errors.New("server: server is shut down")
+	ErrSessionClosed = errors.New("server: session is closed")
+	ErrEvicted       = errors.New("server: session evicted after idle timeout")
+)
+
+// engineSink is the slice of race.EventSink a session drives (plus Abort,
+// the discard path); *race.Engine implements it, and tests substitute
+// poisoned sinks through Config.newSink.
+type engineSink interface {
+	FeedBatch([]race.Event) error
+	Sync() error
+	Close() (*race.Report, error)
+	Abort()
+}
+
+// Server is the multi-tenant session manager.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	closed   bool
+
+	// finished retains the last maxFinished terminated sessions so their
+	// reports (or terminal errors) stay queryable over the report API
+	// after close — GET /sessions/{id}/races keeps working once the
+	// session no longer occupies a pool slot.
+	finished      map[string]*Session
+	finishedOrder []string
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+
+	metrics metrics
+}
+
+// metrics are the expvar-style counters /metrics serves.
+type metrics struct {
+	start    time.Time
+	events   atomic.Uint64
+	batches  atomic.Uint64
+	races    atomic.Uint64
+	opened   atomic.Uint64
+	closed   atomic.Uint64
+	evicted  atomic.Uint64
+	rejected atomic.Uint64
+	failed   atomic.Uint64
+}
+
+// MetricsSnapshot is one reading of the server's counters.
+type MetricsSnapshot struct {
+	ActiveSessions   int     `json:"active_sessions"`
+	SessionsOpened   uint64  `json:"sessions_opened"`
+	SessionsClosed   uint64  `json:"sessions_closed"`
+	SessionsEvicted  uint64  `json:"sessions_evicted"`
+	SessionsRejected uint64  `json:"sessions_rejected"`
+	SessionsFailed   uint64  `json:"sessions_failed"`
+	EventsTotal      uint64  `json:"events_total"`
+	BatchesTotal     uint64  `json:"batches_total"`
+	RacesTotal       uint64  `json:"races_total"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	EventsPerSecond  float64 `json:"events_per_second"`
+}
+
+// New builds a Server and starts its idle-eviction janitor (unless eviction
+// is disabled). Call Close to stop it.
+func New(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = defaultMaxSessions
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = defaultIdleTimeout
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.newSink == nil {
+		cfg.newSink = newEngineSink
+	}
+	s := &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*Session),
+		finished: make(map[string]*Session),
+	}
+	s.metrics.start = cfg.now()
+	if cfg.IdleTimeout > 0 {
+		s.stopJanitor = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+// Caps on client-supplied capacity hints. Hints only pre-size state —
+// engines grow on demand past them — so clamping costs a tenant nothing,
+// while an unclamped hint would let one Hello frame pre-allocate
+// gigabytes (or panic on a negative count) in the shared server.
+const (
+	maxHintThreads = 1 << 16 // Tid is uint16; larger is meaningless
+	maxHintIDs     = 1 << 20 // vars / locks / volatiles / classes
+	maxHintEvents  = 1 << 24 // constraint-graph pre-sizing
+)
+
+// clampHints bounds every client-supplied pre-sizing hint.
+func clampHints(h race.CapacityHints) race.CapacityHints {
+	clamp := func(v, max int) int {
+		if v < 0 {
+			return 0
+		}
+		return min(v, max)
+	}
+	return race.CapacityHints{
+		Threads:   clamp(h.Threads, maxHintThreads),
+		Vars:      clamp(h.Vars, maxHintIDs),
+		Locks:     clamp(h.Locks, maxHintIDs),
+		Volatiles: clamp(h.Volatiles, maxHintIDs),
+		Classes:   clamp(h.Classes, maxHintIDs),
+		Events:    clamp(h.Events, maxHintEvents),
+	}
+}
+
+// newEngineSink builds the session's real engine from its config.
+func newEngineSink(cfg SessionConfig, onRace func(race.RaceInfo)) (engineSink, error) {
+	opts := []race.Option{race.WithCapacityHints(clampHints(cfg.Hints)), race.WithOnRace(onRace)}
+	if len(cfg.Analyses) > 0 {
+		opts = append(opts, race.WithAnalysisNames(cfg.Analyses...))
+	}
+	if cfg.Vindicate {
+		opts = append(opts, race.WithVindication())
+	}
+	if cfg.Parallelism > 1 {
+		opts = append(opts, race.WithParallelism(cfg.Parallelism), race.WithBatchSize(cfg.BatchSize))
+	}
+	return race.NewEngine(opts...)
+}
+
+// OpenSession admits a new tenant: it builds the configured engine, starts
+// its feeder, and returns the session. ErrServerFull applies admission
+// control; bad configurations (unknown analysis names, N/A cells) surface
+// as engine construction errors.
+func (s *Server) OpenSession(cfg SessionConfig) (*Session, error) {
+	// Cheap precheck so hopeless opens skip engine construction.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrServerFull
+	}
+	s.mu.Unlock()
+
+	sess := &Session{
+		cfg:  cfg,
+		srv:  s,
+		work: make(chan workItem, s.cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	sink, err := s.cfg.newSink(cfg, sess.onRace)
+	if err != nil {
+		s.metrics.rejected.Add(1)
+		return nil, err
+	}
+
+	// Publish only once the session can actually run: a session in the
+	// table always has a live feeder, so abort (shutdown, eviction) can
+	// rely on its done channel closing. Re-check admission — the sink was
+	// built outside the lock — and discard the engine if we lost the race.
+	s.mu.Lock()
+	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
+		closed := s.closed
+		s.mu.Unlock()
+		abortSafe(sink) // reap a parallel engine's worker goroutines
+		s.metrics.rejected.Add(1)
+		if closed {
+			return nil, ErrServerClosed
+		}
+		return nil, ErrServerFull
+	}
+	s.nextID++
+	sess.ID = fmt.Sprintf("s%06d", s.nextID)
+	sess.lastActive = s.cfg.now()
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+
+	s.metrics.opened.Add(1)
+	go sess.run(sink)
+	return sess, nil
+}
+
+// Session returns the open (or closing) session with the given id.
+func (s *Server) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// SessionIDs lists the ids of all live sessions.
+func (s *Server) SessionIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ActiveSessions returns the number of live sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	up := s.cfg.now().Sub(s.metrics.start).Seconds()
+	events := s.metrics.events.Load()
+	snap := MetricsSnapshot{
+		ActiveSessions:   s.ActiveSessions(),
+		SessionsOpened:   s.metrics.opened.Load(),
+		SessionsClosed:   s.metrics.closed.Load(),
+		SessionsEvicted:  s.metrics.evicted.Load(),
+		SessionsRejected: s.metrics.rejected.Load(),
+		SessionsFailed:   s.metrics.failed.Load(),
+		EventsTotal:      events,
+		BatchesTotal:     s.metrics.batches.Load(),
+		RacesTotal:       s.metrics.races.Load(),
+		UptimeSeconds:    up,
+	}
+	if up > 0 {
+		snap.EventsPerSecond = float64(events) / up
+	}
+	return snap
+}
+
+// janitor periodically evicts idle sessions.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := time.NewTicker(s.cfg.IdleTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopJanitor:
+			return
+		case <-tick.C:
+			s.EvictIdle(s.cfg.now())
+		}
+	}
+}
+
+// EvictIdle closes every session idle since before now−IdleTimeout and
+// returns how many it evicted. The janitor calls it periodically; tests
+// call it directly.
+func (s *Server) EvictIdle(now time.Time) int {
+	if s.cfg.IdleTimeout <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.IdleTimeout)
+	s.mu.Lock()
+	var idle []*Session
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.lastActive.Before(cutoff) {
+			idle = append(idle, sess)
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, sess := range idle {
+		if sess.abort(ErrEvicted) {
+			s.metrics.evicted.Add(1)
+			n++
+		}
+	}
+	return n
+}
+
+// maxFinished bounds how many terminated sessions (and their reports)
+// the server retains for the report API.
+const maxFinished = 128
+
+// remove moves a terminated session from the live table to the bounded
+// finished archive.
+func (s *Server) remove(sess *Session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.ID)
+	s.finished[sess.ID] = sess
+	s.finishedOrder = append(s.finishedOrder, sess.ID)
+	if len(s.finishedOrder) > maxFinished {
+		delete(s.finished, s.finishedOrder[0])
+		s.finishedOrder = s.finishedOrder[1:]
+	}
+	s.mu.Unlock()
+}
+
+// Finished returns a terminated session from the archive.
+func (s *Server) Finished(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.finished[id]
+	return sess, ok
+}
+
+// Close shuts the server down: no new sessions are admitted, every live
+// session is aborted, and the janitor stops.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range live {
+		sess.abort(ErrServerClosed)
+	}
+	if s.stopJanitor != nil {
+		close(s.stopJanitor)
+		<-s.janitorDone
+	}
+	return nil
+}
+
+// workItem is one unit on a session's ingest queue: an event batch, or a
+// flush barrier whose ack is sent once everything before it has been
+// applied.
+type workItem struct {
+	events []race.Event
+	ack    chan error
+}
+
+// Session is one tenant: an engine plus the feeder goroutine and queue
+// that isolate it from every other tenant.
+type Session struct {
+	ID  string
+	cfg SessionConfig
+	srv *Server
+
+	// ingestMu serializes producers (Feed/Flush/Close/abort) so nothing
+	// sends on a closed work channel.
+	ingestMu sync.Mutex
+	closing  bool
+	work     chan workItem
+	done     chan struct{} // feeder exited; report/err final
+
+	mu         sync.Mutex
+	lastActive time.Time
+	fed        uint64
+	online     []race.RaceInfo
+	report     *race.Report
+	err        error
+}
+
+// onRace collects online detections; it runs on the feeder goroutine (or
+// the engine pipeline's drainer), never concurrently with itself.
+func (sess *Session) onRace(ri race.RaceInfo) {
+	sess.mu.Lock()
+	sess.online = append(sess.online, ri)
+	sess.mu.Unlock()
+	sess.srv.metrics.races.Add(1)
+}
+
+// run is the feeder: it drains the work queue into the engine, recovering
+// panics into the session's sticky error, and closes the engine when the
+// queue closes. It is the only goroutine that touches the engine, which is
+// what makes one poisoned engine unable to take down the server.
+func (sess *Session) run(sink engineSink) {
+	defer close(sess.done)
+	for item := range sess.work {
+		if item.ack != nil {
+			// Flush barrier: on a parallel engine the batches fed so far
+			// are still in flight on worker rings; Sync waits until every
+			// analysis has applied them, so the ack really means
+			// "everything before this point is analyzed".
+			if sess.Err() == nil {
+				if err := syncSafe(sink); err != nil && sess.fail(err) {
+					sess.srv.metrics.failed.Add(1)
+				}
+			}
+			item.ack <- sess.Err()
+			continue
+		}
+		if sess.Err() != nil {
+			continue // poisoned: drain and discard so producers never block
+		}
+		if err := feedSafe(sink, item.events); err != nil {
+			if sess.fail(err) {
+				sess.srv.metrics.failed.Add(1)
+			}
+			continue
+		}
+		sess.srv.metrics.events.Add(uint64(len(item.events)))
+		sess.srv.metrics.batches.Add(1)
+		sess.mu.Lock()
+		sess.fed += uint64(len(item.events))
+		sess.mu.Unlock()
+	}
+	if sess.Err() != nil {
+		// Aborted, evicted, or already poisoned: nobody will read a report,
+		// so discard the engine instead of paying Close (which, for a
+		// vindicating engine, replays the whole retained stream).
+		abortSafe(sink)
+		return
+	}
+	rep, cerr := closeSafe(sink)
+	if cerr != nil && sess.fail(cerr) {
+		sess.srv.metrics.failed.Add(1)
+	}
+	sess.mu.Lock()
+	if sess.err == nil {
+		sess.report = rep
+	}
+	sess.mu.Unlock()
+}
+
+// feedSafe feeds one batch, converting an analysis panic into an error.
+func feedSafe(sink engineSink, evs []race.Event) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: analysis panicked: %v", r)
+		}
+	}()
+	return sink.FeedBatch(evs)
+}
+
+// closeSafe closes the engine, converting a panic into an error.
+func closeSafe(sink engineSink) (rep *race.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("server: analysis panicked at close: %v", r)
+		}
+	}()
+	return sink.Close()
+}
+
+// abortSafe discards the engine, swallowing panics (the session is already
+// failed; there is nothing further to poison).
+func abortSafe(sink engineSink) {
+	defer func() { recover() }()
+	sink.Abort()
+}
+
+// syncSafe runs the engine's barrier, converting a panic into an error.
+func syncSafe(sink engineSink) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: analysis panicked at sync: %v", r)
+		}
+	}()
+	return sink.Sync()
+}
+
+// fail records the session's first error, reporting whether this call set
+// it (so callers count each failure exactly once).
+func (sess *Session) fail(err error) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.err != nil {
+		return false
+	}
+	sess.err = err
+	return true
+}
+
+// Err returns the session's sticky error, if any.
+func (sess *Session) Err() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.err
+}
+
+// Fed returns the number of events the session's engine has consumed.
+func (sess *Session) Fed() uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.fed
+}
+
+// Races returns a snapshot of the races detected so far, in delivery
+// order — the live view GET /sessions/{id}/races serves while the session
+// is still streaming.
+func (sess *Session) Races() []race.RaceInfo {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return append([]race.RaceInfo(nil), sess.online...)
+}
+
+// touch refreshes the idle-eviction clock.
+func (sess *Session) touch() {
+	now := sess.srv.cfg.now()
+	sess.mu.Lock()
+	sess.lastActive = now
+	sess.mu.Unlock()
+}
+
+// Feed enqueues one event batch. It blocks while the session's queue is
+// full — per-session backpressure that propagates to the producing
+// connection and no further. The batch is owned by the session afterwards.
+// A sticky ingestion error is returned immediately (the batch is dropped),
+// but full error reporting is Flush's and Close's job.
+func (sess *Session) Feed(events []race.Event) error {
+	if len(events) == 0 {
+		return sess.Err()
+	}
+	sess.ingestMu.Lock()
+	defer sess.ingestMu.Unlock()
+	if sess.closing {
+		return ErrSessionClosed
+	}
+	if err := sess.Err(); err != nil {
+		return err
+	}
+	sess.touch()
+	sess.work <- workItem{events: events}
+	return nil
+}
+
+// Flush is the sync barrier: it returns once every previously fed batch has
+// been applied to the session's analyses, reporting any ingestion error.
+func (sess *Session) Flush() error {
+	sess.ingestMu.Lock()
+	if sess.closing {
+		sess.ingestMu.Unlock()
+		return ErrSessionClosed
+	}
+	sess.touch()
+	ack := make(chan error, 1)
+	sess.work <- workItem{ack: ack}
+	sess.ingestMu.Unlock()
+	return <-ack
+}
+
+// Close ends the stream: pending batches drain, the engine closes, and the
+// final report is returned (with vindication verdicts if configured). Close
+// is idempotent; after it, the session no longer counts against the
+// server's session limit.
+func (sess *Session) Close() (*race.Report, error) {
+	sess.ingestMu.Lock()
+	first := !sess.closing
+	if first {
+		sess.closing = true
+		close(sess.work)
+	}
+	sess.ingestMu.Unlock()
+	<-sess.done
+	if first {
+		sess.srv.remove(sess)
+		sess.srv.metrics.closed.Add(1)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.report, sess.err
+}
+
+// abort closes the session with a preset error (eviction, shutdown,
+// connection loss), discarding the report. It reports whether this call
+// performed the abort. Non-eviction aborts count toward the closed
+// metric so opened == closed + evicted + active stays an invariant
+// (evictions are counted by EvictIdle).
+func (sess *Session) abort(cause error) bool {
+	sess.ingestMu.Lock()
+	if sess.closing {
+		sess.ingestMu.Unlock()
+		return false
+	}
+	sess.fail(cause)
+	sess.closing = true
+	close(sess.work)
+	sess.ingestMu.Unlock()
+	<-sess.done
+	sess.srv.remove(sess)
+	if !errors.Is(cause, ErrEvicted) {
+		sess.srv.metrics.closed.Add(1)
+	}
+	return true
+}

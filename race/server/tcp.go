@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"syscall"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// helloPayload is the JSON body of the wire protocol's Hello frame.
+type helloPayload struct {
+	Proto   int           `json:"proto"`
+	Session SessionConfig `json:"session"`
+}
+
+// ackPayload is the JSON body of the Ack frame.
+type ackPayload struct {
+	Session string `json:"session"`
+}
+
+// flushAckPayload is the JSON body of the FlushAck frame.
+type flushAckPayload struct {
+	Fed uint64 `json:"fed"`
+}
+
+// ServeTCP accepts raw-TCP wire-protocol connections until the listener
+// closes. Each connection carries one session; connection handling is
+// panic-isolated, so a protocol bug on one connection cannot take the
+// acceptor down. Transient accept failures (fd exhaustion under load)
+// are retried with backoff instead of killing the multi-tenant server.
+func (s *Server) ServeTCP(lis net.Listener) error {
+	delay := 5 * time.Millisecond
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() || isTemporaryAcceptError(err) {
+				log.Printf("server: accept: %v (retrying in %v)", err, delay)
+				time.Sleep(delay)
+				if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				continue
+			}
+			return err
+		}
+		delay = 5 * time.Millisecond
+		go s.serveConn(conn)
+	}
+}
+
+// isTemporaryAcceptError recognizes accept failures worth riding out: the
+// per-connection resource exhaustion errnos that clear once load drops.
+func isTemporaryAcceptError(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.ENOBUFS)
+}
+
+// serveConn runs one wire-protocol session over conn.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			// Connection handling must never crash the server — but a
+			// panic here is a server-side protocol bug, so leave a trace.
+			log.Printf("server: connection handler panic from %v: %v", conn.RemoteAddr(), r)
+		}
+	}()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+
+	sendErr := func(err error) {
+		if werr := wire.WriteFrame(bw, wire.TError, []byte(err.Error())); werr == nil {
+			bw.Flush()
+		}
+	}
+
+	t, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if t != wire.THello {
+		sendErr(fmt.Errorf("server: expected hello frame, got %v", t))
+		return
+	}
+	var hello helloPayload
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		sendErr(fmt.Errorf("server: bad hello payload: %w", err))
+		return
+	}
+	if hello.Proto != wire.Proto {
+		sendErr(fmt.Errorf("server: unsupported protocol version %d (want %d)", hello.Proto, wire.Proto))
+		return
+	}
+	sess, err := s.OpenSession(hello.Session)
+	if err != nil {
+		sendErr(err)
+		return
+	}
+	ack, _ := json.Marshal(ackPayload{Session: sess.ID})
+	if err := wire.WriteFrame(bw, wire.TAck, ack); err != nil {
+		sess.abort(err)
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		sess.abort(err)
+		return
+	}
+
+	for {
+		t, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// Client vanished mid-session (including clean EOF without the
+			// EOF frame): abort so the session slot frees immediately
+			// rather than waiting for idle eviction.
+			sess.abort(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		switch t {
+		case wire.TEvents:
+			evs, err := wire.DecodeEvents(payload)
+			if err != nil {
+				sess.abort(err)
+				sendErr(err)
+				return
+			}
+			if err := sess.Feed(evs); err != nil {
+				// Sticky ingestion error: report it and end the session.
+				sess.Close()
+				sendErr(err)
+				return
+			}
+		case wire.TFlush:
+			if err := sess.Flush(); err != nil {
+				sess.Close()
+				sendErr(err)
+				return
+			}
+			fa, _ := json.Marshal(flushAckPayload{Fed: sess.Fed()})
+			if err := wire.WriteFrame(bw, wire.TFlushAck, fa); err != nil {
+				sess.abort(err)
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				sess.abort(err)
+				return
+			}
+		case wire.TEOF:
+			rep, err := sess.Close()
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			doc, err := json.Marshal(rep)
+			if err != nil {
+				sendErr(err)
+				return
+			}
+			if err := wire.WriteFrame(bw, wire.TReport, doc); err != nil {
+				// A report too large for one frame (or a dying connection)
+				// must not be dropped silently: tell the client why. The
+				// session's report remains fetchable over HTTP.
+				sendErr(fmt.Errorf("server: sending report for %s: %w", sess.ID, err))
+				return
+			}
+			bw.Flush()
+			return
+		default:
+			err := fmt.Errorf("server: unexpected %v frame mid-session", t)
+			sess.abort(err)
+			sendErr(err)
+			return
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package race_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/race"
+)
+
+// TestVindicateWriteReadGapError pins the public contract for the
+// write→read vindication gap: race.Vindicate surfaces ErrWriteReadRace
+// (instead of a silent unverified result) when the detecting access is a
+// read racing with earlier writes, and the result's Reason explains the
+// limitation.
+func TestVindicateWriteReadGapError(t *testing.T) {
+	b := race.NewBuilder()
+	b.Fork("T0", "T1")
+	b.Fork("T0", "T2")
+	b.Write("T1", "x")
+	b.Read("T2", "x")
+	b.Join("T0", "T1")
+	b.Join("T0", "T2")
+	tr := b.Build()
+
+	rep, err := race.Analyze(tr, race.WDC, race.SmartTrack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := rep.Races()
+	if len(races) != 1 || races[0].Write {
+		t.Fatalf("want one read-detected race, got %v", races)
+	}
+
+	res, err := race.Vindicate(tr, races[0].Index)
+	if !errors.Is(err, race.ErrWriteReadRace) {
+		t.Fatalf("Vindicate error = %v, want ErrWriteReadRace", err)
+	}
+	if res.Vindicated {
+		t.Fatal("write→read pair unexpectedly vindicated")
+	}
+	if !strings.Contains(res.Reason, "write→read") {
+		t.Errorf("Reason %q does not explain the write→read gap", res.Reason)
+	}
+
+	// Control: the same shape with a racing write vindicates with no error.
+	b2 := race.NewBuilder()
+	b2.Fork("T0", "T1")
+	b2.Fork("T0", "T2")
+	b2.Write("T1", "x")
+	b2.Write("T2", "x")
+	b2.Join("T0", "T1")
+	b2.Join("T0", "T2")
+	tr2 := b2.Build()
+	rep2, err := race.Analyze(tr2, race.WDC, race.SmartTrack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := race.Vindicate(tr2, rep2.Races()[0].Index)
+	if err != nil {
+		t.Fatalf("write→write Vindicate error: %v", err)
+	}
+	if !res2.Vindicated {
+		t.Fatalf("write→write control not vindicated: %s", res2.Reason)
+	}
+}
