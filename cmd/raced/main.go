@@ -5,6 +5,14 @@
 //	raced                                  # HTTP on :7117, wire TCP on :7118
 //	raced -http :8080 -tcp :8081
 //	raced -max-sessions 256 -idle 2m
+//	raced -data-dir /var/lib/raced         # durable sessions (racelog journals)
+//
+// With -data-dir every session journals its events to a racelog before
+// analysis, flush acks mean "analyzed and durable", and a restarted raced
+// rebuilds the sessions a previous process left open — clients resume at
+// the acked offset (racedetect -resume, or server.Client.Resume). On
+// SIGINT/SIGTERM the server shuts down gracefully: every session queue
+// drains and every journal is synced and sealed before the process exits.
 //
 // Quick start against a generated trace:
 //
@@ -38,6 +46,7 @@ func main() {
 		maxSess  = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
 		queue    = flag.Int("queue", 32, "per-session pending-batch queue depth")
 		idle     = flag.Duration("idle", 5*time.Minute, "idle-session eviction timeout (negative disables)")
+		dataDir  = flag.String("data-dir", "", "durable-session directory: journal every session to a racelog and resume open sessions on restart (empty keeps sessions in memory)")
 	)
 	flag.Parse()
 	if *httpAddr == "" && *tcpAddr == "" {
@@ -48,7 +57,15 @@ func main() {
 		MaxSessions: *maxSess,
 		QueueDepth:  *queue,
 		IdleTimeout: *idle,
+		DataDir:     *dataDir,
 	})
+	if *dataDir != "" {
+		resumed, err := srv.Recover()
+		if err != nil {
+			fatalf("recovering sessions from %s: %v", *dataDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "raced: data dir %s (%d sessions resumed)\n", *dataDir, resumed)
+	}
 
 	errc := make(chan error, 2)
 	if *tcpAddr != "" {
@@ -77,8 +94,10 @@ func main() {
 			fatalf("%v", err)
 		}
 	case s := <-sig:
+		// Graceful: drain every session queue and sync + seal every
+		// journal before exiting, so a -data-dir restart resumes cleanly.
 		fmt.Fprintf(os.Stderr, "raced: %v: shutting down (%d sessions)\n", s, srv.ActiveSessions())
-		srv.Close()
+		srv.Shutdown()
 	}
 }
 

@@ -13,14 +13,24 @@
 //	racedetect -analysis ST-WDC -vindicate trace.bin
 //	racedetect -list
 //
+// A racelog directory (the raced per-session journal / engine spill
+// format, package store) is analyzed directly — recovery runs in memory,
+// so a journal can be analyzed post-mortem without disturbing it:
+//
+//	racedetect -analysis ST-WDC /var/lib/raced/sessions/s000042/journal
+//
 // With -remote the trace is not analyzed in-process: it streams over the
 // raced wire protocol to a detection server, and the printed report is the
-// one the server computed.
+// one the server computed. -resume re-attaches to a durable session a
+// restarted raced recovered (the events the server already acked are
+// skipped):
 //
 //	racedetect -remote localhost:7118 -analysis ST-WDC trace.bin
+//	racedetect -remote localhost:7118 -resume s000042 trace.bin
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/store"
 	"repro/race"
 	"repro/race/server"
 )
@@ -42,6 +53,8 @@ func main() {
 		maxReport = flag.Int("max", 20, "maximum dynamic races to print per analysis")
 		list      = flag.Bool("list", false, "list available analyses")
 		remote    = flag.String("remote", "", "stream to a raced server at this TCP address instead of analyzing in-process")
+		resume    = flag.String("resume", "", "with -remote: resume this durable session id, skipping the events the server already accepted")
+		timeout   = flag.Duration("connect-timeout", 10*time.Second, "with -remote: dial + handshake timeout")
 	)
 	flag.Parse()
 
@@ -66,17 +79,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer f.Close()
-
 	var src race.EventSource
-	if *text {
-		src = race.NewTextTraceDecoder(f)
+	var hints race.CapacityHints
+	var logDir string // non-empty when the input is a racelog directory
+	if fi, err := os.Stat(flag.Arg(0)); err == nil && fi.IsDir() {
+		logDir = flag.Arg(0)
+		// A racelog directory: read it in place (recovery is in-memory
+		// only) and use its summary as exact capacity hints.
+		r, err := store.OpenRead(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer r.Close()
+		h, _ := r.Header()
+		hints = race.CapacityHints{
+			Threads: h.Threads, Vars: h.Vars, Locks: h.Locks,
+			Volatiles: h.Volatiles, Classes: h.Classes, Events: int(h.Events),
+		}
+		src = r
 	} else {
-		src = race.NewTraceDecoder(f)
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if *text {
+			src = race.NewTextTraceDecoder(f)
+		} else {
+			src = race.NewTraceDecoder(f)
+		}
 	}
 
 	analyses := strings.Split(*names, ",")
@@ -91,16 +122,36 @@ func main() {
 		if *online {
 			fmt.Fprintln(os.Stderr, "racedetect: -online has no effect with -remote: the wire protocol has no callback channel (poll GET /sessions/{id}/races on the server's HTTP API instead)")
 		}
-		client, err := server.Dial(*remote)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		client, err := server.DialContext(ctx, *remote)
 		if err != nil {
+			cancel()
 			fatalf("%v", err)
 		}
 		defer client.Close()
-		sess, err := client.Open(server.SessionConfig{Analyses: analyses, Vindicate: *vind})
+		var sess *server.RemoteSession
+		var skip uint64
+		if *resume != "" {
+			sess, skip, err = client.Resume(ctx, *resume)
+		} else {
+			sess, err = client.OpenContext(ctx, server.SessionConfig{Analyses: analyses, Vindicate: *vind, Hints: hints})
+		}
+		cancel()
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fed, err = feedSink(sess, src)
+		fmt.Fprintf(os.Stderr, "racedetect: remote session %s (resume at offset %d)\n", sess.ID(), skip)
+		if logDir != "" && skip > 0 {
+			// Racelog input: fixed-width records make the resume offset a
+			// seek, not a decode-and-discard of the whole acked prefix.
+			r, err := store.OpenReadAt(logDir, skip)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer r.Close()
+			src, skip = r, 0
+		}
+		fed, err = feedSinkFrom(sess, src, skip)
 		if err != nil {
 			fatalf("streaming trace to %s: %v", *remote, err)
 		}
@@ -108,7 +159,10 @@ func main() {
 			fatalf("remote analysis: %v", err)
 		}
 	} else {
-		opts := []race.Option{race.WithAnalysisNames(analyses...)}
+		if *resume != "" {
+			fatalf("-resume requires -remote")
+		}
+		opts := []race.Option{race.WithAnalysisNames(analyses...), race.WithCapacityHints(hints)}
 		if *vind {
 			opts = append(opts, race.WithVindication())
 		}
@@ -171,9 +225,12 @@ func main() {
 	}
 }
 
-// feedSink drains an event source into an event sink (the remote session),
-// counting the events fed.
-func feedSink(sink race.EventSink, src race.EventSource) (int, error) {
+// feedSinkFrom drains an event source into an event sink (the remote
+// session), skipping the first skip events — the prefix a resumed session
+// has already accepted — and counting the events fed. Racelog inputs seek
+// instead (store.OpenReadAt); flat trace files pay a decode-and-discard
+// of the prefix, bounded by the decoder's tens-of-Mevents/sec.
+func feedSinkFrom(sink race.EventSink, src race.EventSource, skip uint64) (int, error) {
 	n := 0
 	for {
 		ev, err := src.Next()
@@ -182,6 +239,10 @@ func feedSink(sink race.EventSink, src race.EventSource) (int, error) {
 		}
 		if err != nil {
 			return n, err
+		}
+		if skip > 0 {
+			skip--
+			continue
 		}
 		if err := sink.Feed(ev); err != nil {
 			return n, err

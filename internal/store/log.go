@@ -1,0 +1,415 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Log is an append-only racelog open for writing. All methods are safe for
+// use by one writer goroutine plus any number of concurrent Reader
+// consumers (readers open the segment files independently).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	sealed []segMeta
+	active segMeta
+	f      *os.File
+	bw     *bufio.Writer
+	crc    hash.Hash32
+
+	appended uint64 // total records, buffered included (the next offset)
+	synced   uint64 // records durable as of the last Sync or seal
+	closed   bool
+
+	// rec is the record encoding scratch buffer; a local array would
+	// escape (and allocate) through the writer and hash interface calls
+	// on every append.
+	rec [trace.RecordSize]byte
+}
+
+// Open opens (or creates) the racelog directory dir for appending,
+// recovering it first: sealed segments are CRC-verified, the tail is
+// truncated at the first torn or invalid record, and any segments past a
+// damaged one are dropped. Appending resumes at the recovered offset.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentEvents <= 0 {
+		opts.SegmentEvents = DefaultSegmentEvents
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	metas, dropped, err := recoverDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range dropped {
+		if err := os.Remove(p); err != nil {
+			return nil, fmt.Errorf("store: dropping unrecoverable segment: %w", err)
+		}
+	}
+	l := &Log{dir: dir, opts: opts, crc: crc32.NewIEEE()}
+
+	// The recovered tail continues as the active segment when it is
+	// unsealed; a sealed (or absent) tail starts a fresh segment.
+	if n := len(metas); n > 0 && !metas[n-1].sealed {
+		tail := metas[n-1]
+		l.sealed = metas[:n-1]
+		if err := os.Truncate(tail.path, tail.size); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			return nil, err
+		}
+		// Make the recovered prefix (and its truncation) actually durable
+		// before Synced() claims it is: the previous process may have died
+		// without fsyncing these records, and callers acknowledge offsets
+		// based on Synced — an ack over page-cache-only data would let a
+		// client discard events a power loss could still eat.
+		if !opts.NoSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		// The running record CRC died with the previous process; resume it
+		// from the prefix CRC recovery already computed, so this segment
+		// can still seal.
+		l.crc = recoveredCRC(tail.crcRec)
+		l.active = tail
+		l.f = f
+		l.bw = bufio.NewWriterSize(f, 1<<16)
+	} else {
+		l.sealed = metas
+		var seg uint32
+		var first uint64
+		if n := len(metas); n > 0 {
+			seg = metas[n-1].seg + 1
+			first = metas[n-1].last()
+		}
+		if err := l.startSegment(seg, first); err != nil {
+			return nil, err
+		}
+	}
+	if len(dropped) > 0 {
+		// The removals above are part of recovery's durable outcome too.
+		if err := l.syncDir(); err != nil {
+			return nil, err
+		}
+	}
+	l.appended = l.active.last()
+	l.synced = l.appended
+	return l, nil
+}
+
+// recoveredCRC rebuilds a running CRC-32 hash whose state matches sum.
+// crc32.IEEE is resumable: Update(sum, data) == digest of (prefix ‖ data)
+// when sum is the prefix digest, which resumableCRC wraps as a hash.Hash32.
+func recoveredCRC(sum uint32) hash.Hash32 { return &resumableCRC{sum: sum} }
+
+type resumableCRC struct{ sum uint32 }
+
+func (c *resumableCRC) Write(p []byte) (int, error) {
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p)
+	return len(p), nil
+}
+func (c *resumableCRC) Sum32() uint32  { return c.sum }
+func (c *resumableCRC) Reset()         { c.sum = 0 }
+func (c *resumableCRC) Size() int      { return 4 }
+func (c *resumableCRC) BlockSize() int { return 1 }
+func (c *resumableCRC) Sum(b []byte) []byte {
+	s := c.sum
+	return append(b, byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+}
+
+// recoverDir scans dir's segment files in order, returning the longest
+// valid prefix of segments plus the paths of files recovery must drop
+// (mis-numbered, unreadable as a continuation, or following a torn tail).
+func recoverDir(dir string) (metas []segMeta, dropped []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".rlog") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var nextOff uint64
+	valid := true
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		if !valid || name != segmentName(uint32(i)) {
+			valid = false
+			dropped = append(dropped, path)
+			continue
+		}
+		m, ok, err := recoverSegment(path, uint32(i), nextOff)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			valid = false
+			dropped = append(dropped, path)
+			continue
+		}
+		metas = append(metas, m)
+		nextOff = m.last()
+		if !m.sealed {
+			// A torn tail ends the valid prefix: anything after it was
+			// written concurrently with (or after) the data we just lost
+			// confidence in.
+			valid = false
+		}
+	}
+	return metas, dropped, nil
+}
+
+// startSegment creates and opens a fresh active segment.
+func (l *Log) startSegment(seg uint32, first uint64) error {
+	path := filepath.Join(l.dir, segmentName(seg))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	hdr := encodeSegmentHeader(seg, first)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = segMeta{path: path, seg: seg, first: first, size: headerSize}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 1<<16)
+	l.crc = crc32.NewIEEE()
+	return nil
+}
+
+// syncDir makes directory-level mutations (segment creation, removal)
+// durable.
+func (l *Log) syncDir() error {
+	if l.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Events returns the total record count appended so far (buffered records
+// included) — the offset the next Append receives.
+func (l *Log) Events() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Synced returns the record count guaranteed durable as of the last Sync,
+// seal, or Close.
+func (l *Log) Synced() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Summary aggregates the whole log's per-op counts and id-space sizes.
+func (l *Log) Summary() Summary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s Summary
+	for _, m := range l.sealed {
+		s.merge(m.sum)
+	}
+	s.merge(l.active.sum)
+	return s
+}
+
+// SegmentInfo describes one segment of a log.
+type SegmentInfo struct {
+	Seg    uint32
+	First  uint64
+	Events uint64
+	Sealed bool
+	Path   string
+}
+
+// Segments lists the log's segments in order.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(l.sealed)+1)
+	for _, m := range l.sealed {
+		out = append(out, SegmentInfo{Seg: m.seg, First: m.first, Events: m.count, Sealed: true, Path: m.path})
+	}
+	a := l.active
+	out = append(out, SegmentInfo{Seg: a.seg, First: a.first, Events: a.count, Sealed: false, Path: a.path})
+	return out
+}
+
+// Append writes one record to the log.
+func (l *Log) Append(ev trace.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append(ev)
+}
+
+// AppendBatch writes a run of records.
+func (l *Log) AppendBatch(evs []trace.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ev := range evs {
+		if err := l.append(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) append(ev trace.Event) error {
+	if l.closed {
+		return errors.New("store: append to closed racelog")
+	}
+	trace.PutRecord(l.rec[:], ev)
+	if _, err := l.bw.Write(l.rec[:]); err != nil {
+		return err
+	}
+	l.crc.Write(l.rec[:])
+	if l.active.count%IndexInterval == 0 {
+		l.active.index = append(l.active.index, IndexEntry{
+			Off: l.active.first + l.active.count,
+			Pos: headerSize + l.active.count*uint64(trace.RecordSize),
+		})
+	}
+	l.active.sum.add(ev)
+	l.active.count++
+	l.active.size += trace.RecordSize
+	l.appended++
+	if l.active.count >= uint64(l.opts.SegmentEvents) {
+		return l.rotate()
+	}
+	return nil
+}
+
+// rotate seals the active segment and starts the next one. Sealing makes
+// the whole segment durable (footer write + fsync), so rotation is also a
+// sync point.
+func (l *Log) rotate() error {
+	if err := l.seal(); err != nil {
+		return err
+	}
+	seg, first := l.active.seg+1, l.active.last()
+	l.sealed = append(l.sealed, l.active)
+	if err := l.startSegment(seg, first); err != nil {
+		return err
+	}
+	if l.synced < first {
+		l.synced = first
+	}
+	return nil
+}
+
+// seal flushes the active segment, writes its footer, and fsyncs it.
+func (l *Log) seal() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if err := appendFooterFile(l.f, &l.active, l.crc.Sum32()); err != nil {
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return l.f.Close()
+}
+
+// Sync makes every record appended so far durable: buffered writes are
+// flushed and the active segment is fsynced. A crash after Sync returns
+// loses nothing at or before the current offset — the guarantee the raced
+// flush barrier acknowledges.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("store: sync of closed racelog")
+	}
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.synced = l.appended
+	return nil
+}
+
+// Close seals the active segment and closes the log. A cleanly closed log
+// is fully checksummed: every segment, tail included, has a verified
+// footer on the next Open.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.seal(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, l.active)
+	l.synced = l.appended
+	return l.syncDir()
+}
+
+// Reader returns a streaming reader over a snapshot of the log's current
+// contents, starting at offset 0. Buffered appends are flushed first so
+// the snapshot includes everything appended so far.
+func (l *Log) Reader() (*Reader, error) { return l.ReaderAt(0) }
+
+// ReaderAt returns a streaming reader over the log's current contents
+// starting at event offset off (clamped to the appended count).
+func (l *Log) ReaderAt(off uint64) (*Reader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		if err := l.bw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	metas := make([]segMeta, 0, len(l.sealed)+1)
+	metas = append(metas, l.sealed...)
+	if !l.closed {
+		metas = append(metas, l.active)
+	}
+	var s Summary
+	for _, m := range metas {
+		s.merge(m.sum)
+	}
+	return newReader(metas, s, off)
+}

@@ -20,12 +20,18 @@
 //	                               ◀─────  Report {report JSON} (or Error)
 //
 // Event payloads reuse trace.PutRecord/GetRecord, so an Events frame body is
-// byte-compatible with the record section of a binary trace file. Flush is
-// the sync barrier: its acknowledgment means every event sent before it has
-// been applied to the session's analyses (and any ingestion error is
-// reported). EOF is the graceful end of stream; the server replies with the
-// final report and both sides close. Error frames carry a human-readable
-// message and terminate the session.
+// byte-compatible with the record section of a binary trace file (and of a
+// racelog segment). Flush is the sync barrier: its acknowledgment means
+// every event sent before it has been applied to the session's analyses —
+// and, on a durable server, journaled and synced to disk (any ingestion
+// error is reported). EOF is the graceful end of stream; the server replies
+// with the final report and both sides close. Error frames carry a
+// human-readable message and terminate the session.
+//
+// A Hello may instead name an existing durable session to re-attach to
+// ({proto, resume: id}); the Ack then carries the accepted event offset the
+// client resumes sending from. Payload shapes live in race/server
+// (helloPayload/ackPayload).
 package wire
 
 import (

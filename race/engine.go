@@ -58,18 +58,20 @@ func (h CapacityHints) spec() analysis.Spec {
 
 // engineConfig collects the functional options of NewEngine.
 type engineConfig struct {
-	rel       Relation
-	relSet    bool
-	lvl       Level
-	lvlSet    bool
-	cells     []Cell
-	names     []string
-	vindicate bool
-	onRace    func(RaceInfo)
-	hints     CapacityHints
-	unchecked bool
-	par       int
-	batch     int
+	rel            Relation
+	relSet         bool
+	lvl            Level
+	lvlSet         bool
+	cells          []Cell
+	names          []string
+	vindicate      bool
+	onRace         func(RaceInfo)
+	hints          CapacityHints
+	unchecked      bool
+	par            int
+	batch          int
+	spillDir       string
+	spillThreshold int
 }
 
 // Option configures an Engine.
@@ -105,7 +107,8 @@ func WithAnalysisNames(names ...string) Option {
 // retains the event stream, replays it under an unoptimized graph-building
 // WDC analysis (§4.3's record & replay split), and attempts a witness
 // reordering for the first race at each racing program location. Retaining
-// the stream costs memory proportional to its length.
+// the stream costs memory proportional to its length — unless WithSpill
+// moves the retained stream to disk past a threshold.
 func WithVindication() Option {
 	return func(c *engineConfig) { c.vindicate = true }
 }
@@ -184,6 +187,7 @@ type Engine struct {
 
 	keep   bool // retain events for vindication at Close
 	events []Event
+	spill  *spillState // non-nil iff WithSpill configured (with vindication)
 
 	// Observed id-space sizes (max id + 1), maintained per event so a
 	// retained stream can be rebuilt into a well-declared Trace.
@@ -223,6 +227,13 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		cells = append([]Cell{{rel, lvl}}, cells...)
 	}
 	e := &Engine{onRace: cfg.onRace, keep: cfg.vindicate}
+	if e.keep && cfg.spillDir != "" {
+		threshold := cfg.spillThreshold
+		if threshold <= 0 {
+			threshold = DefaultSpillThreshold
+		}
+		e.spill = &spillState{dir: cfg.spillDir, threshold: threshold}
+	}
 	if !cfg.unchecked {
 		e.chk = trace.NewChecker()
 	}
@@ -298,7 +309,10 @@ func (e *Engine) Feed(ev Event) error {
 	}
 	e.observe(ev)
 	if e.keep {
-		e.events = append(e.events, ev)
+		if err := e.retain(ev); err != nil {
+			e.err = err
+			return err
+		}
 	}
 	if e.pipe != nil {
 		if err := e.checkPipe(); err != nil {
@@ -386,7 +400,10 @@ func (e *Engine) FeedBatch(evs []Event) error {
 		e.observe(ev)
 	}
 	if e.keep {
-		e.events = append(e.events, valid...)
+		if err := e.retain(valid...); err != nil {
+			e.err = err
+			return err
+		}
 	}
 	if e.pipe != nil {
 		if err := e.checkPipe(); err != nil {
@@ -473,8 +490,12 @@ func (e *Engine) FeedSource(src EventSource) error {
 }
 
 // bufferedTrace rebuilds a Trace from the retained stream, declared over
-// the observed id spaces.
-func (e *Engine) bufferedTrace() *Trace {
+// the observed id spaces. With an active spill the stream is replayed
+// from the racelog on disk.
+func (e *Engine) bufferedTrace() (*Trace, error) {
+	if e.spill != nil && e.spill.log != nil {
+		return e.spilledTrace()
+	}
 	return &Trace{
 		Events:    e.events,
 		Threads:   e.threads,
@@ -482,7 +503,7 @@ func (e *Engine) bufferedTrace() *Trace {
 		Locks:     e.locks,
 		Volatiles: e.vols,
 		Classes:   e.classes,
-	}
+	}, nil
 }
 
 // Abort discards the engine without computing a report: pipeline workers
@@ -501,6 +522,7 @@ func (e *Engine) Abort() {
 			e.err = err
 		}
 	}
+	e.spillCleanup()
 	if e.err == nil {
 		e.err = errors.New("race: engine aborted")
 	}
@@ -525,6 +547,7 @@ func (e *Engine) Close() (*Report, error) {
 		}
 	}
 	if e.err != nil {
+		e.spillCleanup()
 		return nil, e.err
 	}
 	if len(e.dets) == 0 {
@@ -536,7 +559,13 @@ func (e *Engine) Close() (*Report, error) {
 	}
 	rep := &Report{name: subs[0].name, col: subs[0].col, subs: subs}
 	if e.keep {
-		rep.vind = e.vindicateAll(subs)
+		vind, err := e.vindicateAll(subs)
+		e.spillCleanup()
+		if err != nil {
+			e.err = err
+			return nil, err
+		}
+		rep.vind = vind
 		for _, sub := range subs {
 			sub.vind = rep.vind
 		}
@@ -544,11 +573,15 @@ func (e *Engine) Close() (*Report, error) {
 	return rep, nil
 }
 
-// vindicateAll replays the retained stream under an unoptimized
-// graph-building WDC analysis and vindicates the first race at each racing
-// program location of every sub-report, keyed by detecting-event index.
-func (e *Engine) vindicateAll(subs []*Report) map[int]VindicationResult {
-	tr := e.bufferedTrace()
+// vindicateAll replays the retained stream — from the spill racelog when
+// the engine spilled to disk — under an unoptimized graph-building WDC
+// analysis and vindicates the first race at each racing program location
+// of every sub-report, keyed by detecting-event index.
+func (e *Engine) vindicateAll(subs []*Report) (map[int]VindicationResult, error) {
+	tr, err := e.bufferedTrace()
+	if err != nil {
+		return nil, err
+	}
 	a := unopt.NewPredictive(analysis.WDC, analysis.SpecOf(tr), true)
 	for _, ev := range tr.Events {
 		a.Handle(ev)
@@ -573,5 +606,5 @@ func (e *Engine) vindicateAll(subs []*Report) map[int]VindicationResult {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

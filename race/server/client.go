@@ -2,10 +2,12 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/wire"
 	"repro/race"
@@ -21,9 +23,18 @@ type Client struct {
 	bw   *bufio.Writer
 }
 
-// Dial connects to a raced TCP endpoint.
+// Dial connects to a raced TCP endpoint. It is DialContext with the
+// background context (no timeout).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a raced TCP endpoint under ctx: a deadline or
+// cancellation bounds the connection attempt instead of blocking
+// indefinitely on an unresponsive network.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: dialing raced: %w", err)
 	}
@@ -49,33 +60,100 @@ func (c *Client) Close() error { return c.conn.Close() }
 const DefaultClientBatch = 2048
 
 // Open performs the session handshake and returns the connection's session.
-// A connection carries exactly one session.
+// A connection carries exactly one session. It is OpenContext with the
+// background context (no timeout).
 func (c *Client) Open(cfg SessionConfig) (*RemoteSession, error) {
-	payload, err := json.Marshal(helloPayload{Proto: wire.Proto, Session: cfg})
+	return c.OpenContext(context.Background(), cfg)
+}
+
+// OpenContext performs the session handshake under ctx: cancellation or a
+// deadline aborts a handshake stuck on an unresponsive server (the
+// connection is poisoned by the interrupt and should be closed).
+func (c *Client) OpenContext(ctx context.Context, cfg SessionConfig) (*RemoteSession, error) {
+	sess, _, err := c.handshake(ctx, helloPayload{Proto: wire.Proto, Session: cfg})
+	return sess, err
+}
+
+// Resume re-attaches to an existing session — one recovered from its
+// journal by a restarted raced, or orphaned by a dropped connection. It
+// returns the session plus the event offset the server has already
+// accepted: the caller must continue feeding from that offset (events
+// before it are already journaled and analyzed, or queued to be).
+func (c *Client) Resume(ctx context.Context, id string) (*RemoteSession, uint64, error) {
+	sess, fed, err := c.handshake(ctx, helloPayload{Proto: wire.Proto, Resume: id})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	// A server that predates resumption ignores the unknown Resume field
+	// and happily acks a fresh default-config session; feeding that would
+	// silently analyze the wrong stream. Make version skew loud.
+	if sess.id != id {
+		return nil, 0, fmt.Errorf("server: asked to resume %s but server opened %s (raced too old for resumption?)", id, sess.id)
+	}
+	return sess, fed, nil
+}
+
+// handshake sends a Hello and reads the Ack, bounded by ctx.
+func (c *Client) handshake(ctx context.Context, hello helloPayload) (*RemoteSession, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	// A cancellation mid-handshake forces the blocked read to fail by
+	// moving the deadline into the past; the deadline is cleared again on
+	// the way out so the streaming phase is unaffected. The ctx deadline
+	// is set BEFORE arming the cancellation hook so the hook's poison
+	// write always lands last; and if stop reports the hook already
+	// started, we wait for it to finish before clearing — otherwise a
+	// cancellation racing a successful handshake could re-poison the
+	// connection after we reset it.
+	if deadline, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(deadline)
+	}
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetDeadline(time.Unix(1, 0))
+		close(fired)
+	})
+	defer func() {
+		if !stop() {
+			<-fired
+		}
+		c.conn.SetDeadline(time.Time{})
+	}()
+	payload, err := json.Marshal(hello)
+	if err != nil {
+		return nil, 0, err
 	}
 	if err := wire.WriteFrame(c.bw, wire.THello, payload); err != nil {
-		return nil, err
+		return nil, 0, ctxError(ctx, err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, 0, ctxError(ctx, err)
 	}
 	t, resp, err := wire.ReadFrame(c.br)
 	if err != nil {
-		return nil, fmt.Errorf("server: reading handshake response: %w", err)
+		return nil, 0, ctxError(ctx, fmt.Errorf("server: reading handshake response: %w", err))
 	}
 	if t == wire.TError {
-		return nil, fmt.Errorf("server: session rejected: %s", resp)
+		return nil, 0, fmt.Errorf("server: session rejected: %s", resp)
 	}
 	if t != wire.TAck {
-		return nil, fmt.Errorf("server: expected ack frame, got %v", t)
+		return nil, 0, fmt.Errorf("server: expected ack frame, got %v", t)
 	}
 	var ack ackPayload
 	if err := json.Unmarshal(resp, &ack); err != nil {
-		return nil, fmt.Errorf("server: bad ack payload: %w", err)
+		return nil, 0, fmt.Errorf("server: bad ack payload: %w", err)
 	}
-	return &RemoteSession{c: c, id: ack.Session, batchSize: DefaultClientBatch}, nil
+	return &RemoteSession{c: c, id: ack.Session, batchSize: DefaultClientBatch}, ack.Fed, nil
+}
+
+// ctxError prefers the context's cancellation cause over the I/O error it
+// provoked (a deadline moved into the past reads as a timeout otherwise).
+func ctxError(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // RemoteSession is one open session on a raced server. It implements

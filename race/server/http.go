@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -37,9 +36,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", s.handleOpen)
 	mux.HandleFunc("GET /sessions", s.handleList)
-	mux.HandleFunc("POST /sessions/{id}/events", s.withSession(s.handleEvents))
-	mux.HandleFunc("POST /sessions/{id}/flush", s.withSession(s.handleFlush))
-	mux.HandleFunc("POST /sessions/{id}/close", s.withSession(s.handleClose))
+	mux.HandleFunc("POST /sessions/{id}/events", s.withExclusiveSession(s.handleEvents))
+	mux.HandleFunc("POST /sessions/{id}/flush", s.withExclusiveSession(s.handleFlush))
+	mux.HandleFunc("POST /sessions/{id}/close", s.withExclusiveSession(s.handleClose))
 	mux.HandleFunc("GET /sessions/{id}/races", s.handleRaces)
 	mux.HandleFunc("DELETE /sessions/{id}", s.withSession(s.handleAbort))
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -80,6 +79,23 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *Session
 	}
 }
 
+// withExclusiveSession claims the session for the duration of a mutating
+// request: one session has exactly one feeder at a time, whichever front
+// end it came in through. A wire connection mid-session (or a concurrent
+// HTTP upload) answers 409 — a check-then-act test would leave the whole
+// remainder of an in-flight upload free to interleave with a wire resume
+// (DELETE stays exempt: operators may abort anything).
+func (s *Server) withExclusiveSession(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return s.withSession(func(w http.ResponseWriter, r *http.Request, sess *Session) {
+		if err := sess.attach(); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		defer sess.detach()
+		h(w, r, sess)
+	})
+}
+
 func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	var cfg SessionConfig
 	if r.ContentLength != 0 {
@@ -108,10 +124,10 @@ func openError(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), http.StatusBadRequest)
 }
 
+// handleList serves the session inventory: every live session and every
+// retained finished one, with state, event count, and races so far.
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	ids := s.SessionIDs()
-	sort.Strings(ids)
-	writeJSON(w, map[string]any{"sessions": ids})
+	writeJSON(w, map[string]any{"sessions": s.Sessions()})
 }
 
 // handleEvents streams raw event records from the request body into the
@@ -231,7 +247,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if names := r.URL.Query().Get("analysis"); names != "" {
 		cfg.Analyses = strings.Split(names, ",")
 	}
-	sess, err := s.OpenSession(cfg)
+	// The ingest session is a throwaway — the report is returned in this
+	// very response — so skip durability: journaling (and retaining) a
+	// session that can never be resumed would only double the I/O and
+	// grow the data dir without bound.
+	sess, err := s.openSession(cfg, false)
 	if err != nil {
 		openError(w, err)
 		return

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+	"repro/race"
+)
+
+// Durable sessions. With Config.DataDir set, every session owns a
+// directory under <DataDir>/sessions/<id>/:
+//
+//	session.json    sessionMeta: the session's engine config and state
+//	journal/        a racelog (package store) of every ingested event,
+//	                appended by the feeder *before* the engine sees the
+//	                batch (write-ahead), synced at each flush barrier
+//	report.json     the canonical report JSON, written at clean close
+//
+// The lifecycle on disk:
+//
+//	open ──────► closed   (clean close: report.json written first)
+//	  │
+//	  └────────► aborted  (evicted, client abort, poisoned stream)
+//
+// A server restart calls Recover: "open" sessions are rebuilt by replaying
+// their journal into a fresh engine and re-enter the live table at the
+// journal's recovered offset, so a wire client can resume at the acked
+// offset; "closed" sessions re-enter the finished archive with their
+// persisted report, so the report API keeps answering across restarts.
+// Graceful shutdown (Shutdown) leaves sessions "open": it drains each
+// queue, syncs and seals the journal, and discards only the in-memory
+// engine — the journal is the source of truth.
+
+// Session state values persisted in session.json.
+const (
+	stateOpen    = "open"
+	stateClosed  = "closed"
+	stateAborted = "aborted"
+)
+
+// sessionMeta is the session.json document.
+type sessionMeta struct {
+	ID     string        `json:"id"`
+	Config SessionConfig `json:"config"`
+	State  string        `json:"state"`
+	// Events is the journaled event count at the last state transition
+	// (informational; the journal itself is authoritative while open).
+	Events uint64 `json:"events,omitempty"`
+}
+
+// sessionsRoot returns <DataDir>/sessions.
+func (s *Server) sessionsRoot() string {
+	return filepath.Join(s.cfg.DataDir, "sessions")
+}
+
+// writeJSONFile atomically replaces path with the JSON encoding of v:
+// write to a temp file, fsync it, rename. The fsync-before-rename keeps
+// an OS crash from leaving the rename durable but the contents torn —
+// state transitions (and reports) must never be half-written.
+func writeJSONFile(path string, v any) error {
+	doc, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename itself lives in the parent directory's entries; without
+	// this fsync a power loss could keep the old file despite the ack.
+	return syncDirPath(filepath.Dir(path))
+}
+
+// syncDirPath fsyncs a directory, making its entries (creations,
+// renames) durable.
+func syncDirPath(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// persistInit creates the session's on-disk identity: directory, journal,
+// and "open" metadata. Called once the session has its server-assigned id,
+// before its feeder starts.
+func (sess *Session) persistInit() error {
+	dir := filepath.Join(sess.srv.sessionsRoot(), sess.ID)
+	jlog, err := store.Open(filepath.Join(dir, "journal"), store.Options{})
+	if err != nil {
+		return fmt.Errorf("server: opening session journal: %w", err)
+	}
+	if err := writeJSONFile(filepath.Join(dir, "session.json"),
+		sessionMeta{ID: sess.ID, Config: sess.cfg, State: stateOpen}); err != nil {
+		jlog.Close()
+		return fmt.Errorf("server: writing session metadata: %w", err)
+	}
+	// Durability of the acked flush includes the session directory tree
+	// existing at all: fsync the newly created directory chain up to the
+	// data dir, or a power loss could erase the whole session while its
+	// journal's bytes were safely synced.
+	for _, d := range []string{dir, sess.srv.sessionsRoot(), sess.srv.cfg.DataDir} {
+		if err := syncDirPath(d); err != nil {
+			jlog.Close()
+			return fmt.Errorf("server: syncing session directories: %w", err)
+		}
+	}
+	sess.dir = dir
+	sess.jlog = jlog
+	return nil
+}
+
+// discardPersist removes a session's on-disk identity — the cleanup for
+// an open that built its journal but then lost the admission race.
+func (sess *Session) discardPersist() {
+	if sess.jlog == nil {
+		return
+	}
+	sess.jlog.Close()
+	os.RemoveAll(sess.dir)
+	sess.jlog, sess.dir = nil, ""
+}
+
+// persistState rewrites session.json with a terminal state. Best-effort:
+// called from feeder teardown, where there is nobody left to report to.
+func (sess *Session) persistState(state string, events uint64) {
+	if sess.dir == "" {
+		return
+	}
+	_ = writeJSONFile(filepath.Join(sess.dir, "session.json"),
+		sessionMeta{ID: sess.ID, Config: sess.cfg, State: state, Events: events})
+}
+
+// persistReport writes the canonical report JSON at clean close —
+// atomically and fsynced, because the session flips to "closed" right
+// after, and a "closed" session with a torn report would lose a result
+// its (about-to-be-final) journal could have regenerated.
+func (sess *Session) persistReport(rep *race.Report) error {
+	return writeJSONFile(filepath.Join(sess.dir, "report.json"), rep)
+}
+
+// replayChunk is the batch size journal replay feeds the fresh engine.
+const replayChunk = 4096
+
+// Recover scans DataDir for sessions a previous process left behind and
+// rebuilds them: "open" sessions replay their journal (recovered to its
+// durable prefix — the torn tail a crash left is truncated) into a fresh
+// engine and rejoin the live table, resumable at the journal offset;
+// "closed" sessions rejoin the finished archive with their persisted
+// report. It returns how many live sessions were resumed. Call it once,
+// after New and before serving traffic.
+//
+// Recovered live sessions are admitted even if they exceed MaxSessions —
+// the operator asked for a restart, not an eviction storm; the cap applies
+// to new admissions.
+func (s *Server) Recover() (int, error) {
+	if s.cfg.DataDir == "" {
+		return 0, nil
+	}
+	root := s.sessionsRoot()
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Hold the idle janitor off while journals replay: with many (or
+	// large) journals the total replay can outlast IdleTimeout, and
+	// evicting a session moments after resurrecting it would defeat the
+	// resume-after-restart contract. Every recovered session's idle clock
+	// restarts when recovery finishes.
+	s.mu.Lock()
+	s.recovering = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.recovering = false
+		live := make([]*Session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			live = append(live, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range live {
+			sess.touch()
+		}
+	}()
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	resumed := 0
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		// Advance the id counter past every session directory, readable
+		// or not: a dir whose session.json a crash never wrote must still
+		// never have its id (== its name) reassigned — a new tenant
+		// reusing it would splice the dead session's leftover journal
+		// into its own stream.
+		s.noteRecoveredID(name)
+		meta, err := readSessionMeta(dir)
+		if err != nil {
+			continue // unreadable leftovers never block a restart
+		}
+		switch meta.State {
+		case stateClosed:
+			s.recoverFinished(dir, meta)
+		case stateOpen:
+			if err := s.recoverOpen(dir, meta); err != nil {
+				// One unrecoverable session (a config this binary no
+				// longer accepts, a journal I/O error) must not crash-loop
+				// the whole service: skip it, leave its directory
+				// untouched for the operator, and keep recovering the
+				// rest.
+				log.Printf("server: session %s not recovered (left on disk): %v", meta.ID, err)
+				continue
+			}
+			resumed++
+		}
+	}
+	return resumed, nil
+}
+
+func readSessionMeta(dir string) (sessionMeta, error) {
+	doc, err := os.ReadFile(filepath.Join(dir, "session.json"))
+	if err != nil {
+		return sessionMeta{}, err
+	}
+	var meta sessionMeta
+	if err := json.Unmarshal(doc, &meta); err != nil {
+		return sessionMeta{}, err
+	}
+	if meta.ID == "" {
+		return sessionMeta{}, fmt.Errorf("server: session.json in %s has no id", dir)
+	}
+	return meta, nil
+}
+
+// noteRecoveredID advances the id counter past a recovered session id so
+// new sessions never collide with recovered ones.
+func (s *Server) noteRecoveredID(id string) {
+	n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+	s.mu.Unlock()
+}
+
+// recoverFinished restores a cleanly closed session's report into the
+// finished archive.
+func (s *Server) recoverFinished(dir string, meta sessionMeta) {
+	done := make(chan struct{})
+	close(done)
+	sess := &Session{
+		ID:      meta.ID,
+		cfg:     meta.Config,
+		srv:     s,
+		dir:     dir,
+		closing: true,
+		done:    done,
+		fed:     meta.Events,
+	}
+	doc, err := os.ReadFile(filepath.Join(dir, "report.json"))
+	if err == nil {
+		if rep, perr := race.ReportFromJSON(doc); perr == nil {
+			sess.report = rep
+		} else {
+			sess.err = fmt.Errorf("server: persisted report unreadable: %w", perr)
+		}
+	} else {
+		sess.err = fmt.Errorf("server: persisted report missing: %w", err)
+	}
+	s.mu.Lock()
+	s.archiveLocked(sess)
+	s.mu.Unlock()
+}
+
+// recoverOpen rebuilds a live session: recover the journal (truncating the
+// torn tail), build a fresh engine from the persisted config, replay the
+// journal into it, and hand the session to a new feeder. The replay runs
+// on the recovering goroutine — the feeder starts only afterwards, so the
+// engine is never touched concurrently.
+func (s *Server) recoverOpen(dir string, meta sessionMeta) error {
+	jlog, err := store.Open(filepath.Join(dir, "journal"), store.Options{})
+	if err != nil {
+		return err
+	}
+	sess := &Session{
+		ID:   meta.ID,
+		cfg:  meta.Config,
+		srv:  s,
+		dir:  dir,
+		jlog: jlog,
+		work: make(chan workItem, s.cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	sink, err := s.cfg.newSink(meta.Config, sess.onRace)
+	if err != nil {
+		jlog.Close()
+		return err
+	}
+	if err := sess.replayJournal(sink); err != nil {
+		// A journal the engine rejects (poisoned mid-replay) still yields
+		// a live session — with the sticky error a resuming client must
+		// see, exactly as if the failure had happened without a restart.
+		sess.fail(err)
+		s.metrics.failed.Add(1)
+	}
+	sess.lastActive = s.cfg.now()
+	sess.enqueued = sess.fed
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jlog.Close()
+		abortSafe(sink)
+		return ErrServerClosed
+	}
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+	s.metrics.opened.Add(1)
+	go sess.run(sink)
+	return nil
+}
+
+// replayJournal streams the recovered journal into the fresh engine. The
+// session's online race list and event counts rebuild as a side effect of
+// the engine re-detecting every race (the onRace callback is live during
+// replay).
+func (sess *Session) replayJournal(sink engineSink) error {
+	r, err := sess.jlog.Reader()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	batch := make([]race.Event, 0, replayChunk)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := feedSafe(sink, batch); err != nil {
+			return err
+		}
+		// Recovery work, not new ingest: the original run already counted
+		// these events in the server metrics, so replay updates only the
+		// session's own cursor (double-counting would spike events_total
+		// after every restart).
+		sess.mu.Lock()
+		sess.fed += uint64(len(batch))
+		sess.mu.Unlock()
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		batch = append(batch, ev)
+		if len(batch) == replayChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// Shutdown is the graceful counterpart of Close for a durable server:
+// it stops admitting sessions, drains every live durable session's
+// queue, syncs and seals its journal, and discards the in-memory engines
+// without producing reports — on disk every live session stays "open",
+// so the next process's Recover resumes all of them at the acked offset.
+// Memory-only sessions (no journal) have nothing to preserve and are
+// aborted with ErrServerClosed, exactly as Close would.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range live {
+		var owned bool
+		if sess.jlog != nil {
+			owned = sess.suspend()
+		} else {
+			owned = sess.abort(ErrServerClosed)
+		}
+		if !owned {
+			// A clean close was already in flight: wait for its feeder so
+			// the report (and its persistence) completes before the
+			// process exits.
+			<-sess.done
+		}
+	}
+	if s.stopJanitor != nil {
+		close(s.stopJanitor)
+		<-s.janitorDone
+	}
+	return nil
+}
+
+// suspend quiesces a session for graceful shutdown: pending batches drain
+// into the journal and engine, the journal is sealed, and the feeder
+// exits without closing the engine into a report — the on-disk state
+// stays "open" for the next process to resume. A session already closing
+// (a client's Close racing the shutdown) is left alone: its clean close,
+// report and all, completes normally.
+func (sess *Session) suspend() bool {
+	sess.ingestMu.Lock()
+	if sess.closing {
+		sess.ingestMu.Unlock()
+		return false
+	}
+	// Mark before closing the work channel: the feeder reads the flag
+	// only after the channel closes, and only a suspend that actually
+	// owns the close may set it — a clean close in flight must win.
+	sess.mu.Lock()
+	sess.suspended = true
+	sess.mu.Unlock()
+	sess.closing = true
+	close(sess.work)
+	sess.ingestMu.Unlock()
+	<-sess.done
+	// Late API calls on the dead process's session object get a truthful
+	// terminal error (the next process serves the resumed session).
+	sess.fail(ErrSuspended)
+	sess.srv.remove(sess)
+	return true
+}

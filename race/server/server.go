@@ -25,10 +25,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/store"
 	"repro/race"
 )
 
@@ -62,6 +65,12 @@ type Config struct {
 	// long (their engines close, the final report is discarded). Zero means
 	// the default of 5 minutes; negative disables eviction.
 	IdleTimeout time.Duration
+	// DataDir makes sessions durable: every session journals its ingested
+	// events to a racelog under <DataDir>/sessions/<id>/ before they reach
+	// the engine, flush barriers sync the journal, and a restarted process
+	// rebuilds open sessions from their journals (Recover) — see
+	// journal.go. Empty keeps sessions purely in memory.
+	DataDir string
 
 	// now and newSink are test seams.
 	now     func() time.Time
@@ -80,6 +89,9 @@ var (
 	ErrServerClosed  = errors.New("server: server is shut down")
 	ErrSessionClosed = errors.New("server: session is closed")
 	ErrEvicted       = errors.New("server: session evicted after idle timeout")
+	ErrSuspended     = errors.New("server: session suspended for shutdown (journal preserved; resume after restart)")
+	ErrBusy          = errors.New("server: session is attached to another connection")
+	ErrUnknown       = errors.New("server: unknown session")
 )
 
 // engineSink is the slice of race.EventSink a session drives (plus Abort,
@@ -96,10 +108,11 @@ type engineSink interface {
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	nextID   uint64
-	closed   bool
+	mu         sync.Mutex
+	sessions   map[string]*Session
+	nextID     uint64
+	closed     bool
+	recovering bool // Recover in progress: idle eviction is paused
 
 	// finished retains the last maxFinished terminated sessions so their
 	// reports (or terminal errors) stay queryable over the report API
@@ -140,6 +153,9 @@ type MetricsSnapshot struct {
 	RacesTotal       uint64  `json:"races_total"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 	EventsPerSecond  float64 `json:"events_per_second"`
+	// SessionEvents maps each live session to the event count its engine
+	// has consumed — the per-tenant load view.
+	SessionEvents map[string]uint64 `json:"session_events,omitempty"`
 }
 
 // New builds a Server and starts its idle-eviction janitor (unless eviction
@@ -158,7 +174,10 @@ func New(cfg Config) *Server {
 		cfg.now = time.Now
 	}
 	if cfg.newSink == nil {
-		cfg.newSink = newEngineSink
+		dataDir := cfg.DataDir
+		cfg.newSink = func(sc SessionConfig, onRace func(race.RaceInfo)) (engineSink, error) {
+			return newEngineSink(sc, onRace, dataDir)
+		}
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -202,14 +221,22 @@ func clampHints(h race.CapacityHints) race.CapacityHints {
 	}
 }
 
-// newEngineSink builds the session's real engine from its config.
-func newEngineSink(cfg SessionConfig, onRace func(race.RaceInfo)) (engineSink, error) {
+// newEngineSink builds the session's real engine from its config. On a
+// durable server a vindicating engine also gets a spill: the journal
+// already holds every event on disk, so letting the engine retain the
+// whole stream in RAM a second time would defeat the larger-than-memory
+// story — past the default threshold its retention moves to a scratch
+// racelog under <dataDir>/spill (removed at engine Close/Abort).
+func newEngineSink(cfg SessionConfig, onRace func(race.RaceInfo), dataDir string) (engineSink, error) {
 	opts := []race.Option{race.WithCapacityHints(clampHints(cfg.Hints)), race.WithOnRace(onRace)}
 	if len(cfg.Analyses) > 0 {
 		opts = append(opts, race.WithAnalysisNames(cfg.Analyses...))
 	}
 	if cfg.Vindicate {
 		opts = append(opts, race.WithVindication())
+		if dataDir != "" {
+			opts = append(opts, race.WithSpill(filepath.Join(dataDir, "spill"), 0))
+		}
 	}
 	if cfg.Parallelism > 1 {
 		opts = append(opts, race.WithParallelism(cfg.Parallelism), race.WithBatchSize(cfg.BatchSize))
@@ -220,8 +247,14 @@ func newEngineSink(cfg SessionConfig, onRace func(race.RaceInfo)) (engineSink, e
 // OpenSession admits a new tenant: it builds the configured engine, starts
 // its feeder, and returns the session. ErrServerFull applies admission
 // control; bad configurations (unknown analysis names, N/A cells) surface
-// as engine construction errors.
+// as engine construction errors. On a durable server the session persists
+// (journal + metadata) — openSession with persist=false serves callers
+// whose session never outlives the request (one-shot /ingest).
 func (s *Server) OpenSession(cfg SessionConfig) (*Session, error) {
+	return s.openSession(cfg, true)
+}
+
+func (s *Server) openSession(cfg SessionConfig, persist bool) (*Session, error) {
 	// Cheap precheck so hopeless opens skip engine construction.
 	s.mu.Lock()
 	if s.closed {
@@ -247,14 +280,37 @@ func (s *Server) OpenSession(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 
-	// Publish only once the session can actually run: a session in the
-	// table always has a live feeder, so abort (shutdown, eviction) can
-	// rely on its done channel closing. Re-check admission — the sink was
-	// built outside the lock — and discard the engine if we lost the race.
+	// Reserve an id first (ids are labels; a rejected open burning one is
+	// harmless), then build the session's persistence before publishing:
+	// a session in the table always has its journal set and a live feeder
+	// about to start, so shutdown and eviction never observe a
+	// half-initialized tenant.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		abortSafe(sink)
+		s.metrics.rejected.Add(1)
+		return nil, ErrServerClosed
+	}
+	s.nextID++
+	sess.ID = fmt.Sprintf("s%06d", s.nextID)
+	s.mu.Unlock()
+
+	if persist && s.cfg.DataDir != "" {
+		if err := sess.persistInit(); err != nil {
+			abortSafe(sink)
+			s.metrics.rejected.Add(1)
+			return nil, err
+		}
+	}
+
+	// Re-check admission — the sink and journal were built outside the
+	// lock — and discard both if we lost the race.
 	s.mu.Lock()
 	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
 		closed := s.closed
 		s.mu.Unlock()
+		sess.discardPersist()
 		abortSafe(sink) // reap a parallel engine's worker goroutines
 		s.metrics.rejected.Add(1)
 		if closed {
@@ -262,8 +318,6 @@ func (s *Server) OpenSession(cfg SessionConfig) (*Session, error) {
 		}
 		return nil, ErrServerFull
 	}
-	s.nextID++
-	sess.ID = fmt.Sprintf("s%06d", s.nextID)
 	sess.lastActive = s.cfg.now()
 	s.sessions[sess.ID] = sess
 	s.mu.Unlock()
@@ -281,14 +335,62 @@ func (s *Server) Session(id string) (*Session, bool) {
 	return sess, ok
 }
 
-// SessionIDs lists the ids of all live sessions.
-func (s *Server) SessionIDs() []string {
+// SessionStatus is one row of the GET /sessions listing.
+type SessionStatus struct {
+	ID string `json:"id"`
+	// State is "streaming" (live), "finished" (closed with a report), or
+	// "failed" (terminal error: aborted, evicted, poisoned).
+	State string `json:"state"`
+	// Events is the number of events the session's engine has consumed.
+	Events uint64 `json:"events"`
+	// Races counts the races reported so far (live: online detections;
+	// finished: the report's dynamic count).
+	Races    int      `json:"races"`
+	Analyses []string `json:"analyses,omitempty"`
+}
+
+// Sessions lists every live and retained-finished session with its state,
+// event count, and races so far — the GET /sessions view.
+func (s *Server) Sessions() []SessionStatus {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.sessions))
-	for id := range s.sessions {
-		out = append(out, id)
+	all := make([]*Session, 0, len(s.sessions)+len(s.finished))
+	live := make(map[string]bool, len(s.sessions))
+	for id, sess := range s.sessions {
+		all = append(all, sess)
+		live[id] = true
 	}
+	for _, sess := range s.finished {
+		all = append(all, sess)
+	}
+	s.mu.Unlock()
+	out := make([]SessionStatus, 0, len(all))
+	for _, sess := range all {
+		sess.mu.Lock()
+		st := SessionStatus{
+			ID:       sess.ID,
+			Events:   sess.fed,
+			Races:    len(sess.online),
+			Analyses: sess.cfg.Analyses,
+		}
+		switch {
+		case live[sess.ID]:
+			if sess.err != nil {
+				st.State = "failed"
+			} else {
+				st.State = "streaming"
+			}
+		case sess.err != nil:
+			st.State = "failed"
+		default:
+			st.State = "finished"
+			if sess.report != nil {
+				st.Races = sess.report.Dynamic()
+			}
+		}
+		sess.mu.Unlock()
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -303,8 +405,19 @@ func (s *Server) ActiveSessions() int {
 func (s *Server) Metrics() MetricsSnapshot {
 	up := s.cfg.now().Sub(s.metrics.start).Seconds()
 	events := s.metrics.events.Load()
+	s.mu.Lock()
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	perSession := make(map[string]uint64, len(live))
+	for _, sess := range live {
+		perSession[sess.ID] = sess.Fed()
+	}
 	snap := MetricsSnapshot{
 		ActiveSessions:   s.ActiveSessions(),
+		SessionEvents:    perSession,
 		SessionsOpened:   s.metrics.opened.Load(),
 		SessionsClosed:   s.metrics.closed.Load(),
 		SessionsEvicted:  s.metrics.evicted.Load(),
@@ -345,6 +458,10 @@ func (s *Server) EvictIdle(now time.Time) int {
 	}
 	cutoff := now.Add(-s.cfg.IdleTimeout)
 	s.mu.Lock()
+	if s.recovering {
+		s.mu.Unlock()
+		return 0
+	}
 	var idle []*Session
 	for _, sess := range s.sessions {
 		sess.mu.Lock()
@@ -373,13 +490,20 @@ const maxFinished = 128
 func (s *Server) remove(sess *Session) {
 	s.mu.Lock()
 	delete(s.sessions, sess.ID)
+	s.archiveLocked(sess)
+	s.mu.Unlock()
+}
+
+// archiveLocked pushes a terminated session into the bounded finished
+// archive; the caller holds s.mu. Recovery uses it directly for sessions
+// that were never in this process's live table.
+func (s *Server) archiveLocked(sess *Session) {
 	s.finished[sess.ID] = sess
 	s.finishedOrder = append(s.finishedOrder, sess.ID)
 	if len(s.finishedOrder) > maxFinished {
 		delete(s.finished, s.finishedOrder[0])
 		s.finishedOrder = s.finishedOrder[1:]
 	}
-	s.mu.Unlock()
 }
 
 // Finished returns a terminated session from the archive.
@@ -423,11 +547,18 @@ type workItem struct {
 }
 
 // Session is one tenant: an engine plus the feeder goroutine and queue
-// that isolate it from every other tenant.
+// that isolate it from every other tenant. With a durable server
+// (Config.DataDir) the session also owns an on-disk directory and journal
+// racelog (see journal.go).
 type Session struct {
 	ID  string
 	cfg SessionConfig
 	srv *Server
+
+	// dir and jlog are the session's persistence arm (nil/"" without a
+	// DataDir). The journal is written only by the feeder goroutine.
+	dir  string
+	jlog *store.Log
 
 	// ingestMu serializes producers (Feed/Flush/Close/abort) so nothing
 	// sends on a closed work channel.
@@ -439,9 +570,12 @@ type Session struct {
 	mu         sync.Mutex
 	lastActive time.Time
 	fed        uint64
+	enqueued   uint64 // events accepted into the queue (≥ fed)
 	online     []race.RaceInfo
 	report     *race.Report
 	err        error
+	suspended  bool // graceful shutdown: feeder preserves the journal
+	attached   bool // a wire connection or HTTP mutation currently drives this session
 }
 
 // onRace collects online detections; it runs on the feeder goroutine (or
@@ -453,18 +587,26 @@ func (sess *Session) onRace(ri race.RaceInfo) {
 	sess.srv.metrics.races.Add(1)
 }
 
-// run is the feeder: it drains the work queue into the engine, recovering
-// panics into the session's sticky error, and closes the engine when the
-// queue closes. It is the only goroutine that touches the engine, which is
-// what makes one poisoned engine unable to take down the server.
+// run is the feeder: it drains the work queue — journaling each batch
+// before the engine sees it on a durable server — recovering panics into
+// the session's sticky error, and closes the engine when the queue
+// closes. It is the only goroutine that touches the engine (and the
+// journal), which is what makes one poisoned engine unable to take down
+// the server.
 func (sess *Session) run(sink engineSink) {
 	defer close(sess.done)
 	for item := range sess.work {
 		if item.ack != nil {
-			// Flush barrier: on a parallel engine the batches fed so far
-			// are still in flight on worker rings; Sync waits until every
-			// analysis has applied them, so the ack really means
-			// "everything before this point is analyzed".
+			// Flush barrier: first make everything journaled so far
+			// durable, then wait for the engine to apply it (on a parallel
+			// engine batches are still in flight on worker rings). The ack
+			// then really means "everything before this point is analyzed
+			// and survives a crash".
+			if sess.Err() == nil && sess.jlog != nil {
+				if err := sess.jlog.Sync(); err != nil && sess.fail(fmt.Errorf("server: syncing journal: %w", err)) {
+					sess.srv.metrics.failed.Add(1)
+				}
+			}
 			if sess.Err() == nil {
 				if err := syncSafe(sink); err != nil && sess.fail(err) {
 					sess.srv.metrics.failed.Add(1)
@@ -475,6 +617,17 @@ func (sess *Session) run(sink engineSink) {
 		}
 		if sess.Err() != nil {
 			continue // poisoned: drain and discard so producers never block
+		}
+		// Write-ahead: the journal sees the batch before the engine, so a
+		// crash can lose unjournaled analysis work but never journal an
+		// event the engine might not have seen on replay.
+		if sess.jlog != nil {
+			if err := sess.jlog.AppendBatch(item.events); err != nil {
+				if sess.fail(fmt.Errorf("server: journaling batch: %w", err)) {
+					sess.srv.metrics.failed.Add(1)
+				}
+				continue
+			}
 		}
 		if err := feedSafe(sink, item.events); err != nil {
 			if sess.fail(err) {
@@ -488,11 +641,31 @@ func (sess *Session) run(sink engineSink) {
 		sess.fed += uint64(len(item.events))
 		sess.mu.Unlock()
 	}
+	if sess.isSuspended() {
+		// Graceful shutdown: seal the journal (Close syncs it) and discard
+		// only the engine — on disk the session stays "open" so the next
+		// process resumes it from the journal.
+		if sess.jlog != nil {
+			sess.jlog.Close()
+		}
+		abortSafe(sink)
+		return
+	}
 	if sess.Err() != nil {
 		// Aborted, evicted, or already poisoned: nobody will read a report,
 		// so discard the engine instead of paying Close (which, for a
 		// vindicating engine, replays the whole retained stream).
 		abortSafe(sink)
+		if sess.jlog != nil {
+			sess.jlog.Close()
+			if errors.Is(sess.Err(), ErrEvicted) {
+				// Idle eviction reclaims the pool slot, not the data: the
+				// journal is intact and sealed, so the session stays
+				// "open" on disk — a restarted server resumes it.
+				return
+			}
+			sess.persistState(stateAborted, sess.Fed())
+		}
 		return
 	}
 	rep, cerr := closeSafe(sink)
@@ -504,6 +677,26 @@ func (sess *Session) run(sink engineSink) {
 		sess.report = rep
 	}
 	sess.mu.Unlock()
+	if sess.jlog != nil {
+		sess.jlog.Close()
+		if rep != nil && sess.Err() == nil {
+			if err := sess.persistReport(rep); err == nil {
+				sess.persistState(stateClosed, sess.Fed())
+			}
+			// On a failed report write the state stays "open": the sealed
+			// journal regenerates the identical report after a restart,
+			// which beats discarding a recoverable result.
+			return
+		}
+		sess.persistState(stateAborted, sess.Fed())
+	}
+}
+
+// isSuspended reports whether graceful shutdown quiesced this session.
+func (sess *Session) isSuspended() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.suspended
 }
 
 // feedSafe feeds one batch, converting an analysis panic into an error.
@@ -605,7 +798,40 @@ func (sess *Session) Feed(events []race.Event) error {
 	}
 	sess.touch()
 	sess.work <- workItem{events: events}
+	sess.mu.Lock()
+	sess.enqueued += uint64(len(events))
+	sess.mu.Unlock()
 	return nil
+}
+
+// Enqueued returns the number of events the session has accepted into its
+// queue — the offset a resuming client must continue from (everything
+// before it will reach the engine; Fed trails it only by queued work).
+func (sess *Session) Enqueued() uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.enqueued
+}
+
+// attach claims the session for one driver — a wire connection for its
+// lifetime, or an HTTP mutation request for its duration; at most one
+// drives a session at a time, keeping the journaled stream a single
+// client's view.
+func (sess *Session) attach() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.attached {
+		return ErrBusy
+	}
+	sess.attached = true
+	return nil
+}
+
+// detach releases the wire-connection claim.
+func (sess *Session) detach() {
+	sess.mu.Lock()
+	sess.attached = false
+	sess.mu.Unlock()
 }
 
 // Flush is the sync barrier: it returns once every previously fed batch has

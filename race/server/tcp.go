@@ -14,14 +14,20 @@ import (
 )
 
 // helloPayload is the JSON body of the wire protocol's Hello frame.
+// Resume names an existing (typically journal-recovered) session to
+// re-attach to instead of opening a new one; Session is ignored then.
 type helloPayload struct {
 	Proto   int           `json:"proto"`
 	Session SessionConfig `json:"session"`
+	Resume  string        `json:"resume,omitempty"`
 }
 
-// ackPayload is the JSON body of the Ack frame.
+// ackPayload is the JSON body of the Ack frame. Fed is the event offset
+// the session has already accepted — a resuming client continues sending
+// from there (0 for a fresh session).
 type ackPayload struct {
 	Session string `json:"session"`
+	Fed     uint64 `json:"fed"`
 }
 
 // flushAckPayload is the JSON body of the FlushAck frame.
@@ -101,18 +107,53 @@ func (s *Server) serveConn(conn net.Conn) {
 		sendErr(fmt.Errorf("server: unsupported protocol version %d (want %d)", hello.Proto, wire.Proto))
 		return
 	}
-	sess, err := s.OpenSession(hello.Session)
-	if err != nil {
-		sendErr(err)
-		return
+	var sess *Session
+	if hello.Resume != "" {
+		// Resumption: re-attach to a live session (journal-recovered after
+		// a restart, or orphaned by a dropped connection) at its accepted
+		// offset.
+		var ok bool
+		if sess, ok = s.Session(hello.Resume); !ok {
+			sendErr(fmt.Errorf("%w: %s", ErrUnknown, hello.Resume))
+			return
+		}
+		if err := sess.attach(); err != nil {
+			sendErr(err)
+			return
+		}
+		defer sess.detach()
+		if err := sess.Err(); err != nil {
+			sendErr(err)
+			return
+		}
+	} else {
+		var err error
+		if sess, err = s.OpenSession(hello.Session); err != nil {
+			sendErr(err)
+			return
+		}
+		if err := sess.attach(); err != nil { // unreachable for a fresh id, but keep the invariant
+			sess.abort(err)
+			sendErr(err)
+			return
+		}
+		defer sess.detach()
 	}
-	ack, _ := json.Marshal(ackPayload{Session: sess.ID})
+	// lost tears the connection's session down: a durable session is left
+	// live (and resumable — its journal is the source of truth), while a
+	// memory-only session frees its slot immediately.
+	lost := func(err error) {
+		if sess.jlog == nil {
+			sess.abort(err)
+		}
+	}
+	ack, _ := json.Marshal(ackPayload{Session: sess.ID, Fed: sess.Enqueued()})
 	if err := wire.WriteFrame(bw, wire.TAck, ack); err != nil {
-		sess.abort(err)
+		lost(err)
 		return
 	}
 	if err := bw.Flush(); err != nil {
-		sess.abort(err)
+		lost(err)
 		return
 	}
 
@@ -120,9 +161,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		t, payload, err := wire.ReadFrame(br)
 		if err != nil {
 			// Client vanished mid-session (including clean EOF without the
-			// EOF frame): abort so the session slot frees immediately
-			// rather than waiting for idle eviction.
-			sess.abort(fmt.Errorf("server: connection lost: %w", err))
+			// EOF frame): free the slot (or, for a durable session, leave
+			// it resumable) rather than waiting for idle eviction.
+			lost(fmt.Errorf("server: connection lost: %w", err))
 			return
 		}
 		switch t {
@@ -147,11 +188,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			fa, _ := json.Marshal(flushAckPayload{Fed: sess.Fed()})
 			if err := wire.WriteFrame(bw, wire.TFlushAck, fa); err != nil {
-				sess.abort(err)
+				lost(err)
 				return
 			}
 			if err := bw.Flush(); err != nil {
-				sess.abort(err)
+				lost(err)
 				return
 			}
 		case wire.TEOF:
