@@ -24,6 +24,13 @@
 //
 // Streaming clients use the raw-TCP wire protocol (racedetect -remote, or
 // race/server.Dial from instrumented programs).
+//
+// In a fleet (cmd/racefleet in front of several raced instances), the
+// router drives raced through its admin surface: GET /healthz is a
+// readiness probe (503 while draining or with an unwritable data dir,
+// plus session-pool occupancy), POST /admin/drain stops new-session
+// admission, and POST /admin/sessions/{id}/suspend + .../recover are the
+// two halves of journal-based session migration.
 package main
 
 import (

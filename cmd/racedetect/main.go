@@ -27,6 +27,15 @@
 //
 //	racedetect -remote localhost:7118 -analysis ST-WDC trace.bin
 //	racedetect -remote localhost:7118 -resume s000042 trace.bin
+//
+// -retry makes the remote stream self-healing: on a dropped connection or
+// a fleet redirect (racefleet migrating the session to another backend)
+// the client reconnects with bounded exponential backoff, resumes the same
+// session, and replays the unacknowledged suffix. -flush-every bounds the
+// replay buffer (and the data at risk) by forcing a durability barrier
+// every N events:
+//
+//	racedetect -remote localhost:7119 -retry -flush-every 100000 trace.bin
 package main
 
 import (
@@ -55,6 +64,8 @@ func main() {
 		remote    = flag.String("remote", "", "stream to a raced server at this TCP address instead of analyzing in-process")
 		resume    = flag.String("resume", "", "with -remote: resume this durable session id, skipping the events the server already accepted")
 		timeout   = flag.Duration("connect-timeout", 10*time.Second, "with -remote: dial + handshake timeout")
+		retry     = flag.Bool("retry", false, "with -remote: reconnect and resume automatically (exponential backoff) on connection loss or fleet handoff")
+		flushEach = flag.Int("flush-every", 0, "with -remote: force a flush barrier every N events (bounds the -retry replay buffer)")
 	)
 	flag.Parse()
 
@@ -123,18 +134,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "racedetect: -online has no effect with -remote: the wire protocol has no callback channel (poll GET /sessions/{id}/races on the server's HTTP API instead)")
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		client, err := server.DialContext(ctx, *remote)
-		if err != nil {
-			cancel()
-			fatalf("%v", err)
-		}
-		defer client.Close()
-		var sess *server.RemoteSession
+		cfg := server.SessionConfig{Analyses: analyses, Vindicate: *vind, Hints: hints}
+		var sess remoteStream
 		var skip uint64
-		if *resume != "" {
-			sess, skip, err = client.Resume(ctx, *resume)
+		var err error
+		if *retry {
+			ropts := []server.ReliableOption{server.WithRetry(server.RetryPolicy{})}
+			if *resume != "" {
+				sess, skip, err = server.ResumeReliable(ctx, *remote, *resume, ropts...)
+			} else {
+				sess, err = server.OpenReliable(ctx, *remote, cfg, ropts...)
+			}
 		} else {
-			sess, err = client.OpenContext(ctx, server.SessionConfig{Analyses: analyses, Vindicate: *vind, Hints: hints})
+			var client *server.Client
+			client, err = server.DialContext(ctx, *remote)
+			if err != nil {
+				cancel()
+				fatalf("%v", err)
+			}
+			defer client.Close()
+			var rsess *server.RemoteSession
+			if *resume != "" {
+				rsess, skip, err = client.Resume(ctx, *resume)
+			} else {
+				rsess, err = client.OpenContext(ctx, cfg)
+			}
+			sess = rsess
 		}
 		cancel()
 		if err != nil {
@@ -151,7 +176,7 @@ func main() {
 			defer r.Close()
 			src, skip = r, 0
 		}
-		fed, err = feedSinkFrom(sess, src, skip)
+		fed, err = feedSinkFrom(sess, src, skip, *flushEach)
 		if err != nil {
 			fatalf("streaming trace to %s: %v", *remote, err)
 		}
@@ -225,12 +250,22 @@ func main() {
 	}
 }
 
+// remoteStream is the common surface of *server.RemoteSession and
+// *server.ReliableSession that the remote path drives: an EventSink plus
+// the wire flush barrier.
+type remoteStream interface {
+	race.EventSink
+	ID() string
+	Flush() error
+}
+
 // feedSinkFrom drains an event source into an event sink (the remote
 // session), skipping the first skip events — the prefix a resumed session
 // has already accepted — and counting the events fed. Racelog inputs seek
 // instead (store.OpenReadAt); flat trace files pay a decode-and-discard
-// of the prefix, bounded by the decoder's tens-of-Mevents/sec.
-func feedSinkFrom(sink race.EventSink, src race.EventSource, skip uint64) (int, error) {
+// of the prefix, bounded by the decoder's tens-of-Mevents/sec. A positive
+// flushEvery inserts a flush barrier every that many fed events.
+func feedSinkFrom(sink remoteStream, src race.EventSource, skip uint64, flushEvery int) (int, error) {
 	n := 0
 	for {
 		ev, err := src.Next()
@@ -248,6 +283,11 @@ func feedSinkFrom(sink race.EventSink, src race.EventSource, skip uint64) (int, 
 			return n, err
 		}
 		n++
+		if flushEvery > 0 && n%flushEvery == 0 {
+			if err := sink.Flush(); err != nil {
+				return n, err
+			}
+		}
 	}
 }
 

@@ -32,6 +32,13 @@
 // ({proto, resume: id}); the Ack then carries the accepted event offset the
 // client resumes sending from. Payload shapes live in race/server
 // (helloPayload/ackPayload).
+//
+// A router fronting several servers may answer any client frame with
+// Redirect instead: the session's backend is being handed off (drain,
+// migration, crash recovery), and the client should reconnect and resume the
+// same session id — the new Ack's offset tells it where to pick up. Redirect
+// is advisory; a client that instead reconnects on a dropped connection
+// observes the same protocol.
 package wire
 
 import (
@@ -49,7 +56,7 @@ const Proto = 1
 type Type uint8
 
 // Frame types. Client-to-server: Hello, Events, Flush, EOF. Server-to-
-// client: Ack, FlushAck, Report, Error.
+// client: Ack, FlushAck, Report, Error, Redirect (router only).
 const (
 	THello Type = iota + 1
 	TAck
@@ -59,11 +66,13 @@ const (
 	TEOF
 	TReport
 	TError
+	TRedirect
 )
 
 var typeNames = map[Type]string{
 	THello: "hello", TAck: "ack", TEvents: "events", TFlush: "flush",
 	TFlushAck: "flush-ack", TEOF: "eof", TReport: "report", TError: "error",
+	TRedirect: "redirect",
 }
 
 // String returns the frame type's mnemonic.

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend health states as the router's prober sees them.
+const (
+	stateUp       int32 = iota // routable: takes new sessions
+	stateDraining              // reachable (admin, existing sessions) but not routable
+	stateDown                  // failed ProbeThreshold consecutive probes
+)
+
+func stateName(s int32) string {
+	switch s {
+	case stateUp:
+		return "up"
+	case stateDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// DefaultProbeInterval and DefaultProbeThreshold govern health checking
+// when unconfigured: a probe every 2s, down after 2 consecutive failures.
+const (
+	DefaultProbeInterval  = 2 * time.Second
+	DefaultProbeThreshold = 2
+)
+
+// probeRecord is one backend's health as maintained by the monitor.
+type probeRecord struct {
+	state         atomic.Int32
+	consecFails   atomic.Int32
+	probeFailures atomic.Uint64 // total failed probes (metrics)
+}
+
+// healthMonitor probes every backend's Healthz on a fixed interval. A
+// failed RPC also lets the router mark a backend down immediately
+// (markDown) instead of waiting out the probe threshold.
+type healthMonitor struct {
+	interval  time.Duration
+	threshold int
+	records   map[string]*probeRecord
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+func newHealthMonitor(names []string, interval time.Duration, threshold int) *healthMonitor {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if threshold <= 0 {
+		threshold = DefaultProbeThreshold
+	}
+	h := &healthMonitor{
+		interval:  interval,
+		threshold: threshold,
+		records:   make(map[string]*probeRecord, len(names)),
+		stop:      make(chan struct{}),
+	}
+	for _, name := range names {
+		h.records[name] = &probeRecord{} // optimistically up until probed
+	}
+	return h
+}
+
+// start launches one prober goroutine per backend. probe runs the actual
+// health RPC (bounded by ctx).
+func (h *healthMonitor) start(probe func(ctx context.Context, name string) error) {
+	for name := range h.records {
+		h.wg.Add(1)
+		go func(name string) {
+			defer h.wg.Done()
+			t := time.NewTicker(h.interval)
+			defer t.Stop()
+			for {
+				h.observe(name, h.runProbe(probe, name))
+				select {
+				case <-t.C:
+				case <-h.stop:
+					return
+				}
+			}
+		}(name)
+	}
+}
+
+func (h *healthMonitor) runProbe(probe func(ctx context.Context, name string) error, name string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), h.interval)
+	defer cancel()
+	return probe(ctx, name)
+}
+
+// observe folds one probe result into the backend's state machine.
+func (h *healthMonitor) observe(name string, err error) {
+	rec := h.records[name]
+	switch {
+	case err == nil:
+		rec.consecFails.Store(0)
+		rec.state.Store(stateUp)
+	case errors.Is(err, ErrBackendDraining):
+		rec.consecFails.Store(0)
+		rec.state.Store(stateDraining)
+	default:
+		rec.probeFailures.Add(1)
+		if int(rec.consecFails.Add(1)) >= h.threshold {
+			rec.state.Store(stateDown)
+		}
+	}
+}
+
+func (h *healthMonitor) close() {
+	h.once.Do(func() { close(h.stop) })
+	h.wg.Wait()
+}
+
+// routable reports whether new sessions may land on the backend.
+func (h *healthMonitor) routable(name string) bool {
+	rec, ok := h.records[name]
+	return ok && rec.state.Load() == stateUp
+}
+
+// reachable reports whether the backend answers at all (up or draining) —
+// existing sessions and admin operations may still target it.
+func (h *healthMonitor) reachable(name string) bool {
+	rec, ok := h.records[name]
+	return ok && rec.state.Load() != stateDown
+}
+
+// markDown records an observed hard failure without waiting for probes.
+func (h *healthMonitor) markDown(name string) {
+	if rec, ok := h.records[name]; ok {
+		rec.state.Store(stateDown)
+		rec.consecFails.Store(int32(h.threshold))
+	}
+}
+
+func (h *healthMonitor) status(name string) string {
+	rec, ok := h.records[name]
+	if !ok {
+		return "unknown"
+	}
+	return stateName(rec.state.Load())
+}
+
+func (h *healthMonitor) failures(name string) uint64 {
+	if rec, ok := h.records[name]; ok {
+		return rec.probeFailures.Load()
+	}
+	return 0
+}

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/race/server"
+)
+
+// Migration moves a sealed session directory between backend data dirs:
+//
+//	source: Suspend(id)        — drain the queue, seal the journal, free
+//	                             the slot; the dir is now quiescent
+//	router: copy dir           — into the target's sessions/ under a
+//	                             ".importing-<id>" staging name, fsync
+//	                             everything, then rename into place (the
+//	                             target's recovery scan ignores dot-dirs,
+//	                             so a torn copy is invisible)
+//	target: RecoverSession(id) — journal replay brings the engine to the
+//	                             exact suspended state
+//	router: remove source dir  — the session now has one home
+//
+// The client's half: its connection errors (or gets a Redirect), it
+// re-resumes through the router, and the resume ack tells it the offset the
+// journal preserved — by the flush-barrier contract that offset is at least
+// its last acked flush, so replaying its retained suffix loses nothing.
+
+// sessionDir is the on-disk home of id under a backend data dir.
+func sessionDir(dataDir, id string) string {
+	return filepath.Join(dataDir, "sessions", id)
+}
+
+// hasSessionDir reports whether id's directory exists under dataDir.
+func hasSessionDir(dataDir, id string) bool {
+	if dataDir == "" {
+		return false
+	}
+	fi, err := os.Stat(sessionDir(dataDir, id))
+	return err == nil && fi.IsDir()
+}
+
+// copySessionDir stages a copy of id's directory from srcDir's tree into
+// dstDir's tree and renames it into place. Every file is fsynced before the
+// rename, so a crash mid-copy leaves either no visible dir or a complete
+// one.
+func copySessionDir(srcDataDir, dstDataDir, id string) error {
+	src := sessionDir(srcDataDir, id)
+	final := sessionDir(dstDataDir, id)
+	staging := filepath.Join(dstDataDir, "sessions", ".importing-"+id)
+	if err := os.RemoveAll(staging); err != nil {
+		return err
+	}
+	if err := copyTree(src, staging); err != nil {
+		os.RemoveAll(staging)
+		return fmt.Errorf("fleet: copying session %s: %w", id, err)
+	}
+	if err := os.Rename(staging, final); err != nil {
+		os.RemoveAll(staging)
+		return err
+	}
+	return syncDir(filepath.Dir(final))
+}
+
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o777)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		return copyFileSync(path, target)
+	})
+}
+
+func copyFileSync(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// migrate moves session id from src (whose directory holds it; src may be
+// dead) to dst and recovers it there. The source directory is removed only
+// after the target has recovered the session, so a failure at any step
+// leaves a resumable copy somewhere.
+func (rt *Router) migrate(ctx context.Context, id string, srcDataDir string, dst Backend) error {
+	rt.metrics.migStarted.Add(1)
+	err := rt.doMigrate(ctx, id, srcDataDir, dst)
+	if err != nil {
+		rt.metrics.migFailed.Add(1)
+		return err
+	}
+	rt.metrics.migCompleted.Add(1)
+	return nil
+}
+
+func (rt *Router) doMigrate(ctx context.Context, id string, srcDataDir string, dst Backend) error {
+	if srcDataDir == "" || dst.DataDir() == "" {
+		return fmt.Errorf("fleet: migrating %s: both backends need data dirs", id)
+	}
+	if srcDataDir != dst.DataDir() {
+		if err := copySessionDir(srcDataDir, dst.DataDir(), id); err != nil {
+			return err
+		}
+	}
+	if err := dst.RecoverSession(ctx, id); err != nil {
+		// Leave both copies; the source dir is still authoritative.
+		if srcDataDir != dst.DataDir() {
+			os.RemoveAll(sessionDir(dst.DataDir(), id))
+		}
+		return fmt.Errorf("fleet: recovering %s on %s: %w", id, dst.Name(), err)
+	}
+	if srcDataDir != dst.DataDir() {
+		if err := os.RemoveAll(sessionDir(srcDataDir, id)); err != nil {
+			return fmt.Errorf("fleet: removing migrated source dir for %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// MigrateSession explicitly moves a session to the named backend: suspend
+// it wherever it lives now (if live anywhere), copy + recover on the
+// target. The streaming client, if any, is redirected by its proxy loop
+// and re-resumes onto the migrated session.
+func (rt *Router) MigrateSession(ctx context.Context, id, to string) error {
+	dst, ok := rt.backends[to]
+	if !ok {
+		return fmt.Errorf("fleet: unknown backend %q", to)
+	}
+	if !rt.health.reachable(to) {
+		return fmt.Errorf("fleet: target backend %s is down", to)
+	}
+	unlock := rt.lockSession(id)
+	defer unlock()
+
+	// Find the live holder by suspending: success identifies the holder
+	// and seals the journal in one step.
+	var srcDataDir string
+	for _, name := range rt.ring.sequence(id) {
+		b := rt.backends[name]
+		if name == to || !rt.health.reachable(name) || b.DataDir() == "" {
+			continue
+		}
+		if _, err := b.Suspend(ctx, id); err != nil {
+			if isUnreachable(err) {
+				rt.health.markDown(name)
+			}
+			continue
+		}
+		srcDataDir = b.DataDir()
+		break
+	}
+	if srcDataDir == "" {
+		// Not live anywhere (crashed backend, or already suspended):
+		// fall back to locating the directory on disk.
+		for _, name := range rt.ring.sequence(id) {
+			b := rt.backends[name]
+			if name != to && hasSessionDir(b.DataDir(), id) {
+				srcDataDir = b.DataDir()
+				break
+			}
+		}
+	}
+	if srcDataDir == "" {
+		if hasSessionDir(dst.DataDir(), id) {
+			// Already home: just make sure it's loaded.
+			if sess, _, err := dst.Resume(ctx, id); err == nil {
+				sess.Release()
+				return nil
+			}
+			return dst.RecoverSession(ctx, id)
+		}
+		return fmt.Errorf("fleet: session %s not found on any backend", id)
+	}
+	return rt.migrate(ctx, id, srcDataDir, dst)
+}
+
+// isUnreachable classifies an error as "the backend is gone" (connection-
+// level failure or a killed local backend) rather than a session-level
+// rejection.
+func isUnreachable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBackendDown) {
+		return true
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "connection refused") || strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "broken pipe") || strings.Contains(msg, "no such host") ||
+		strings.Contains(msg, "i/o timeout") || strings.Contains(msg, "EOF") {
+		return true
+	}
+	return false
+}
+
+// isHandoffError classifies a mid-stream session failure as "the session
+// moved or its backend died" — the client should re-resume — rather than a
+// permanent stream error.
+func isHandoffError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, server.ErrSuspended) || errors.Is(err, server.ErrHandoff) ||
+		errors.Is(err, server.ErrEvicted) || errors.Is(err, ErrBackendDown) {
+		return true
+	}
+	if isUnreachable(err) {
+		return true
+	}
+	// Remote backends flatten sentinels into error-frame text.
+	msg := err.Error()
+	return strings.Contains(msg, "suspended") || strings.Contains(msg, "evicted")
+}

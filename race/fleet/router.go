@@ -1,0 +1,467 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/race/server"
+)
+
+// Router is the stateless ingress in front of a raced fleet. It speaks the
+// same wire protocol and HTTP API as a single raced, so clients point at
+// the router instead of a backend and nothing else changes; the router
+// assigns each session an id, hashes it onto a backend, and keeps the
+// stream flowing across backend drains, crashes, and migrations.
+//
+// "Stateless" is literal: the only routing inputs are the configured
+// backend list (the consistent-hash ring is a pure function of it) and
+// live health state, both reconstructible at any moment. Sessions
+// themselves live in backend journals — a router restart loses nothing.
+type Router struct {
+	backends map[string]Backend
+	names    []string // sorted, fixed at construction
+	ring     *ring
+	health   *healthMonitor
+	counters map[string]*backendCounters
+	metrics  routerMetrics
+
+	lockMu    sync.Mutex
+	sessLocks map[string]*sync.Mutex
+}
+
+// Options configures a Router.
+type Options struct {
+	// VNodes is the virtual-node count per backend on the hash ring
+	// (DefaultVNodes when zero).
+	VNodes int
+	// ProbeInterval and ProbeThreshold govern health checking
+	// (DefaultProbeInterval / DefaultProbeThreshold when zero).
+	ProbeInterval  time.Duration
+	ProbeThreshold int
+}
+
+type backendCounters struct {
+	sessionsRouted atomic.Uint64
+	resumesRouted  atomic.Uint64
+}
+
+type routerMetrics struct {
+	migStarted   atomic.Uint64
+	migCompleted atomic.Uint64
+	migFailed    atomic.Uint64
+	redirects    atomic.Uint64
+}
+
+// New builds a router over backends and starts health probing. Close stops
+// the probers.
+func New(backends []Backend, opts Options) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("fleet: router needs at least one backend")
+	}
+	rt := &Router{
+		backends:  make(map[string]Backend, len(backends)),
+		counters:  make(map[string]*backendCounters, len(backends)),
+		sessLocks: make(map[string]*sync.Mutex),
+	}
+	for _, b := range backends {
+		name := b.Name()
+		if name == "" {
+			return nil, errors.New("fleet: backend with empty name")
+		}
+		if _, dup := rt.backends[name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate backend name %q", name)
+		}
+		rt.backends[name] = b
+		rt.names = append(rt.names, name)
+		rt.counters[name] = &backendCounters{}
+	}
+	rt.ring = newRing(rt.names, opts.VNodes)
+	rt.health = newHealthMonitor(rt.names, opts.ProbeInterval, opts.ProbeThreshold)
+	rt.health.start(func(ctx context.Context, name string) error {
+		return rt.backends[name].Healthz(ctx)
+	})
+	return rt, nil
+}
+
+// Close stops health probing. Sessions keep living on their backends.
+func (rt *Router) Close() { rt.health.close() }
+
+// Backends returns the backend names on the ring (sorted order of
+// construction).
+func (rt *Router) Backends() []string { return append([]string(nil), rt.names...) }
+
+// lockSession serializes routing decisions and migrations per session id.
+func (rt *Router) lockSession(id string) func() {
+	rt.lockMu.Lock()
+	m, ok := rt.sessLocks[id]
+	if !ok {
+		m = new(sync.Mutex)
+		rt.sessLocks[id] = m
+	}
+	rt.lockMu.Unlock()
+	m.Lock()
+	return m.Unlock
+}
+
+// NewSessionID mints a router-assigned session id: "f" + 12 hex chars.
+// The prefix-plus-randomness form cannot collide with a backend's own
+// auto-assigned ids (which session-id validation reserves).
+func NewSessionID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("fleet: reading random session id: " + err.Error())
+	}
+	return "f" + hex.EncodeToString(b[:])
+}
+
+func isUnknownSession(err error) bool {
+	return err != nil &&
+		(errors.Is(err, server.ErrUnknown) || strings.Contains(err.Error(), "unknown session"))
+}
+
+// routeOpen places a fresh session: the id's ring sequence is tried in
+// order, skipping unroutable backends and failing over past full, draining,
+// or unreachable ones.
+func (rt *Router) routeOpen(ctx context.Context, id string, cfg server.SessionConfig) (Session, Backend, error) {
+	var lastErr error
+	for _, name := range rt.ring.sequence(id) {
+		if !rt.health.routable(name) {
+			continue
+		}
+		b := rt.backends[name]
+		sess, err := b.Open(ctx, id, cfg)
+		if err == nil {
+			rt.counters[name].sessionsRouted.Add(1)
+			return sess, b, nil
+		}
+		lastErr = err
+		if isUnreachable(err) {
+			rt.health.markDown(name)
+			continue
+		}
+		msg := err.Error()
+		if errors.Is(err, server.ErrServerFull) || errors.Is(err, server.ErrDraining) ||
+			strings.Contains(msg, "session limit") || strings.Contains(msg, "draining") {
+			continue // capacity failover: next arc on the ring
+		}
+		return nil, nil, err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoBackends
+	}
+	return nil, nil, lastErr
+}
+
+// resumeOn resumes id on one backend, counting it.
+func (rt *Router) resumeOn(ctx context.Context, b Backend, id string) (Session, uint64, error) {
+	sess, fed, err := b.Resume(ctx, id)
+	if err != nil {
+		return nil, 0, err
+	}
+	rt.counters[b.Name()].resumesRouted.Add(1)
+	return sess, fed, nil
+}
+
+// routeResume re-attaches a client to its session wherever it now lives,
+// migrating it home if need be:
+//
+//  1. Try the id's routable ring sequence directly — the common case (the
+//     session is live on its owner, or was already migrated to the next
+//     arc after a crash).
+//  2. Unknown there: scatter across the other reachable backends — the
+//     session may be live on a draining backend (serve it in place; drain
+//     means "no NEW sessions") or on one the ring no longer prefers.
+//  3. Still unknown: look for the session's directory on disk — its
+//     backend crashed or suspended it. If the dir is already under the
+//     target, recover in place; otherwise copy + recover (migration), then
+//     resume on the target.
+//
+// Steps 2–3 run under the session's router lock so concurrent resumes and
+// admin migrations cannot race the directory move.
+func (rt *Router) routeResume(ctx context.Context, id string) (Session, uint64, Backend, error) {
+	var target Backend
+	var lastErr error
+	for _, name := range rt.ring.sequence(id) {
+		if !rt.health.routable(name) {
+			continue
+		}
+		b := rt.backends[name]
+		sess, fed, err := rt.resumeOn(ctx, b, id)
+		if err == nil {
+			return sess, fed, b, nil
+		}
+		lastErr = err
+		if isUnreachable(err) {
+			rt.health.markDown(name)
+			continue
+		}
+		if isUnknownSession(err) {
+			target = b
+			break
+		}
+		return nil, 0, nil, err // busy, poisoned, …: not routing's problem
+	}
+	if target == nil {
+		if lastErr == nil {
+			lastErr = ErrNoBackends
+		}
+		return nil, 0, nil, lastErr
+	}
+
+	unlock := rt.lockSession(id)
+	defer unlock()
+
+	// Scatter: live somewhere the ring didn't send us?
+	for _, name := range rt.ring.sequence(id) {
+		b := rt.backends[name]
+		if b == target || !rt.health.reachable(name) {
+			continue
+		}
+		sess, fed, err := rt.resumeOn(ctx, b, id)
+		if err == nil {
+			if rt.health.routable(name) {
+				return sess, fed, b, nil // serve in place
+			}
+			// Draining backend: move the session to the target now.
+			sess.Release()
+			if _, err := b.Suspend(ctx, id); err != nil {
+				return nil, 0, nil, fmt.Errorf("fleet: suspending %s on draining %s: %w", id, name, err)
+			}
+			if err := rt.migrate(ctx, id, b.DataDir(), target); err != nil {
+				return nil, 0, nil, err
+			}
+			sess2, fed2, err2 := rt.resumeOn(ctx, target, id)
+			return sess2, fed2, target, err2
+		}
+		if isUnreachable(err) {
+			rt.health.markDown(name)
+		}
+	}
+
+	// Disk: the session's home backend is gone (or sealed it); find the
+	// directory and bring it to the target.
+	if hasSessionDir(target.DataDir(), id) {
+		if err := target.RecoverSession(ctx, id); err != nil {
+			return nil, 0, nil, err
+		}
+		rt.metrics.migStarted.Add(1) // in-place recovery counts as a (trivial) migration
+		rt.metrics.migCompleted.Add(1)
+		sess, fed, err := rt.resumeOn(ctx, target, id)
+		return sess, fed, target, err
+	}
+	for _, name := range rt.ring.sequence(id) {
+		b := rt.backends[name]
+		if b == target || !hasSessionDir(b.DataDir(), id) {
+			continue
+		}
+		if rt.health.reachable(name) {
+			// Best effort: if it is somehow still live there, seal it
+			// before copying. "Unknown session" just means it already is.
+			b.Suspend(ctx, id)
+		}
+		if err := rt.migrate(ctx, id, b.DataDir(), target); err != nil {
+			return nil, 0, nil, err
+		}
+		sess, fed, err := rt.resumeOn(ctx, target, id)
+		return sess, fed, target, err
+	}
+	return nil, 0, nil, fmt.Errorf("%w: %s", server.ErrUnknown, id)
+}
+
+// ---- wire-protocol front end ----
+
+// helloPayload/ackPayload/flushAckPayload mirror the raced wire payloads
+// (they are defined by the protocol, not exported Go API).
+type helloPayload struct {
+	Proto     int                  `json:"proto"`
+	Session   server.SessionConfig `json:"session"`
+	SessionID string               `json:"session_id,omitempty"`
+	Resume    string               `json:"resume,omitempty"`
+}
+
+type ackPayload struct {
+	Session string `json:"session"`
+	Fed     uint64 `json:"fed"`
+}
+
+type flushAckPayload struct {
+	Fed uint64 `json:"fed"`
+}
+
+// ServeTCP accepts wire-protocol connections until the listener closes,
+// one proxied session per connection.
+func (rt *Router) ServeTCP(lis net.Listener) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		go rt.serveConn(conn)
+	}
+}
+
+// serveConn proxies one client session onto its backend. Frame in, session
+// op out: Events feed, Flush barriers (acked with the backend's durable
+// offset), EOF closes and relays the backend's report bytes verbatim. When
+// the backend fails mid-stream in a way that re-resuming can heal — drain,
+// migration, crash — the client gets a Redirect frame instead of an Error
+// and reconnects through the router, which lands it on the session's new
+// home.
+func (rt *Router) serveConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("fleet: connection handler panic from %v: %v", conn.RemoteAddr(), r)
+		}
+	}()
+	ctx := context.Background()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+
+	sendErr := func(err error) {
+		if werr := wire.WriteFrame(bw, wire.TError, []byte(err.Error())); werr == nil {
+			bw.Flush()
+		}
+	}
+	sendRedirect := func() {
+		rt.metrics.redirects.Add(1)
+		if werr := wire.WriteFrame(bw, wire.TRedirect, nil); werr == nil {
+			bw.Flush()
+		}
+	}
+
+	t, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if t != wire.THello {
+		sendErr(fmt.Errorf("fleet: expected hello frame, got %v", t))
+		return
+	}
+	var hello helloPayload
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		sendErr(fmt.Errorf("fleet: bad hello payload: %w", err))
+		return
+	}
+	if hello.Proto != wire.Proto {
+		sendErr(fmt.Errorf("fleet: unsupported protocol version %d (want %d)", hello.Proto, wire.Proto))
+		return
+	}
+
+	var (
+		sess Session
+		id   string
+		fed  uint64
+	)
+	if hello.Resume != "" {
+		id = hello.Resume
+		sess, fed, _, err = rt.routeResume(ctx, id)
+	} else {
+		id = hello.SessionID
+		if id == "" {
+			id = NewSessionID()
+		}
+		sess, _, err = rt.routeOpen(ctx, id, hello.Session)
+	}
+	if err != nil {
+		sendErr(err)
+		return
+	}
+
+	ack, _ := json.Marshal(ackPayload{Session: id, Fed: fed})
+	if err := wire.WriteFrame(bw, wire.TAck, ack); err != nil {
+		sess.Release()
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		sess.Release()
+		return
+	}
+
+	for {
+		t, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			sess.Release() // client vanished; durable sessions stay resumable
+			return
+		}
+		switch t {
+		case wire.TEvents:
+			evs, err := wire.DecodeEvents(payload)
+			if err != nil {
+				sess.Release()
+				sendErr(err)
+				return
+			}
+			if err := sess.Feed(evs); err != nil {
+				if isHandoffError(err) {
+					sess.Release()
+					sendRedirect()
+					return
+				}
+				sess.Release()
+				sendErr(err)
+				return
+			}
+		case wire.TFlush:
+			n, err := sess.Flush()
+			if err != nil {
+				if isHandoffError(err) {
+					sess.Release()
+					sendRedirect()
+					return
+				}
+				sess.Release()
+				sendErr(err)
+				return
+			}
+			fa, _ := json.Marshal(flushAckPayload{Fed: n})
+			if err := wire.WriteFrame(bw, wire.TFlushAck, fa); err != nil {
+				sess.Release()
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				sess.Release()
+				return
+			}
+		case wire.TEOF:
+			doc, err := sess.Close()
+			if err != nil {
+				if isHandoffError(err) {
+					sendRedirect()
+					return
+				}
+				sendErr(err)
+				return
+			}
+			if err := wire.WriteFrame(bw, wire.TReport, doc); err != nil {
+				sendErr(fmt.Errorf("fleet: sending report for %s: %w", id, err))
+				return
+			}
+			bw.Flush()
+			return
+		default:
+			sess.Release()
+			sendErr(fmt.Errorf("fleet: unexpected %v frame mid-session", t))
+			return
+		}
+	}
+}

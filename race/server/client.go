@@ -59,6 +59,12 @@ func (c *Client) Close() error { return c.conn.Close() }
 // pending batch as an Events frame.
 const DefaultClientBatch = 2048
 
+// ErrHandoff is the sticky session error after a Redirect frame: a fleet
+// router is moving the session to another backend. The session id remains
+// valid — reconnect (through the router) and Resume it; the new ack's
+// offset says where to pick up. ReliableSession does this automatically.
+var ErrHandoff = errors.New("server: session handed off; reconnect and resume to continue")
+
 // Open performs the session handshake and returns the connection's session.
 // A connection carries exactly one session. It is OpenContext with the
 // background context (no timeout).
@@ -72,6 +78,24 @@ func (c *Client) Open(cfg SessionConfig) (*RemoteSession, error) {
 func (c *Client) OpenContext(ctx context.Context, cfg SessionConfig) (*RemoteSession, error) {
 	sess, _, err := c.handshake(ctx, helloPayload{Proto: wire.Proto, Session: cfg})
 	return sess, err
+}
+
+// OpenID performs the session handshake requesting a caller-chosen session
+// id (the fleet router names sessions so their identity survives backend
+// migration). The server rejects ids already in use (ErrIDTaken) and ids
+// matching its own auto-assigned form.
+func (c *Client) OpenID(ctx context.Context, id string, cfg SessionConfig) (*RemoteSession, error) {
+	sess, _, err := c.handshake(ctx, helloPayload{Proto: wire.Proto, Session: cfg, SessionID: id})
+	if err != nil {
+		return nil, err
+	}
+	// An old server ignores the unknown SessionID field and acks an
+	// auto-assigned id; routing state would then point at a session the
+	// backend doesn't know by that name. Make version skew loud.
+	if sess.id != id {
+		return nil, fmt.Errorf("server: asked to open %s but server opened %s (raced too old for caller-chosen ids?)", id, sess.id)
+	}
+	return sess, nil
 }
 
 // Resume re-attaches to an existing session — one recovered from its
@@ -167,6 +191,7 @@ type RemoteSession struct {
 	batchSize int
 	buf       []race.Event
 	scratch   []byte // reused frame-payload encoding buffer
+	flushed   uint64 // server-acknowledged offset from the last Flush
 	closed    bool
 	err       error
 }
@@ -176,6 +201,11 @@ var _ race.EventSink = (*RemoteSession)(nil)
 // ID returns the server-assigned session id (for the report API:
 // GET /sessions/{id}/races).
 func (s *RemoteSession) ID() string { return s.id }
+
+// Flushed returns the event offset the server acknowledged at the last
+// successful Flush: everything before it is analyzed (and, on a durable
+// server, journaled and synced). A retrying client resumes from here.
+func (s *RemoteSession) Flushed() uint64 { return s.flushed }
 
 // SetBatchSize tunes how many events accumulate before a frame ships.
 func (s *RemoteSession) SetBatchSize(n int) {
@@ -267,7 +297,14 @@ func (s *RemoteSession) Flush() error {
 	}
 	switch t {
 	case wire.TFlushAck:
+		var fa flushAckPayload
+		if err := json.Unmarshal(payload, &fa); err != nil {
+			return s.fail(fmt.Errorf("server: bad flush-ack payload: %w", err))
+		}
+		s.flushed = fa.Fed
 		return nil
+	case wire.TRedirect:
+		return s.fail(ErrHandoff)
 	case wire.TError:
 		return s.serverError(payload)
 	default:
@@ -278,6 +315,22 @@ func (s *RemoteSession) Flush() error {
 // Close ends the stream (EOF frame) and returns the report the server
 // computed for the session, reconstructed from its canonical JSON form.
 func (s *RemoteSession) Close() (*race.Report, error) {
+	doc, err := s.CloseJSON()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := race.ReportFromJSON(doc)
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	return rep, nil
+}
+
+// CloseJSON ends the stream (EOF frame) and returns the report exactly as
+// the server serialized it. The fleet router forwards these bytes verbatim,
+// so a report is byte-identical whether a session was served by one backend
+// or migrated between several.
+func (s *RemoteSession) CloseJSON() ([]byte, error) {
 	if s.closed {
 		return nil, errors.New("server: remote session already closed")
 	}
@@ -300,11 +353,12 @@ func (s *RemoteSession) Close() (*race.Report, error) {
 	}
 	switch t {
 	case wire.TReport:
-		rep, err := race.ReportFromJSON(payload)
-		if err != nil {
-			return nil, s.fail(err)
-		}
-		return rep, nil
+		return payload, nil
+	case wire.TRedirect:
+		// The backend is gone mid-close; the stream (including any events
+		// shipped above) must be replayed from the acked offset elsewhere.
+		s.closed = false // the session lives on after resumption
+		return nil, s.fail(ErrHandoff)
 	case wire.TError:
 		return nil, s.serverError(payload)
 	default:

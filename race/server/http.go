@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -26,12 +28,24 @@ import (
 //	POST   /ingest                   one-shot: body is a binary trace file;
 //	                                 runs a session end to end, returns the
 //	                                 report (query: analysis=A,B&vindicate=1)
-//	GET    /healthz                  liveness
+//	GET    /healthz                  readiness: 503 while draining or with an
+//	                                 unwritable data dir; reports occupancy
 //	GET    /metrics                  expvar-style counters
+//
+// Fleet administration (the router's control surface):
+//
+//	POST   /admin/drain                    stop admitting new sessions (healthz
+//	                                       goes 503; live sessions unaffected)
+//	POST   /admin/sessions/{id}/suspend    seal a live durable session's journal
+//	                                       and free its slot (migration source)
+//	POST   /admin/sessions/{id}/recover    load a session directory that appeared
+//	                                       in the data dir (migration target)
 //
 // Event bodies reuse the trace codec's record encoding, so POST
 // /sessions/{id}/events accepts exactly the bytes an Events wire frame
 // carries, and POST /ingest accepts an unmodified tracegen output file.
+// POST /sessions?id=X opens the session under the caller-chosen id X (the
+// router's consistent-hash placement key) instead of a server-assigned one.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", s.handleOpen)
@@ -44,6 +58,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /admin/drain", s.handleDrain)
+	mux.HandleFunc("POST /admin/sessions/{id}/suspend", s.handleSuspend)
+	mux.HandleFunc("POST /admin/sessions/{id}/recover", s.handleRecover)
 	return mux
 }
 
@@ -53,10 +70,12 @@ func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrServerFull):
 		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrServerClosed):
+	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrEvicted):
+	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrEvicted), errors.Is(err, ErrIDTaken):
 		code = http.StatusConflict
+	case errors.Is(err, ErrUnknown):
+		code = http.StatusNotFound
 	}
 	http.Error(w, err.Error(), code)
 }
@@ -104,7 +123,13 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess, err := s.OpenSession(cfg)
+	var sess *Session
+	var err error
+	if id := r.URL.Query().Get("id"); id != "" {
+		sess, err = s.OpenSessionWithID(id, cfg)
+	} else {
+		sess, err = s.OpenSession(cfg)
+	}
 	if err != nil {
 		openError(w, err)
 		return
@@ -117,7 +142,8 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 // operational codes, anything else (unknown analysis name, N/A Table 1
 // cell) is the caller's configuration — a 400, not a server fault.
 func openError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrServerFull) || errors.Is(err, ErrServerClosed) {
+	if errors.Is(err, ErrServerFull) || errors.Is(err, ErrServerClosed) ||
+		errors.Is(err, ErrDraining) || errors.Is(err, ErrIDTaken) {
 		httpError(w, err)
 		return
 	}
@@ -251,7 +277,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// very response — so skip durability: journaling (and retaining) a
 	// session that can never be resumed would only double the I/O and
 	// grow the data dir without bound.
-	sess, err := s.openSession(cfg, false)
+	sess, err := s.openSession("", cfg, false)
 	if err != nil {
 		openError(w, err)
 		return
@@ -303,8 +329,94 @@ func writeReport(w http.ResponseWriter, rep *race.Report) {
 	w.Write(doc)
 }
 
+// healthzStatus is the GET /healthz document — readiness, not just
+// liveness: a router must stop routing new sessions to a backend that is
+// draining, full, or unable to persist journals, and the 503/200 split is
+// what its probe keys on.
+type healthzStatus struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining,omitempty"`
+	// ActiveSessions / MaxSessions is the pool occupancy a router can use
+	// for load-aware decisions; Full means new opens would be rejected.
+	ActiveSessions int  `json:"active_sessions"`
+	MaxSessions    int  `json:"max_sessions"`
+	Full           bool `json:"full,omitempty"`
+	// DataDirWritable is present only on durable servers: a backend whose
+	// disk stopped accepting writes cannot honor flush-ack durability and
+	// must leave the routable set even though the process is alive.
+	DataDirWritable *bool `json:"data_dir_writable,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"ok": true, "active_sessions": s.ActiveSessions()})
+	st := healthzStatus{
+		OK:             true,
+		Draining:       s.Draining(),
+		ActiveSessions: s.ActiveSessions(),
+		MaxSessions:    s.cfg.MaxSessions,
+	}
+	st.Full = st.ActiveSessions >= st.MaxSessions
+	if s.cfg.DataDir != "" {
+		writable := dataDirWritable(s.cfg.DataDir)
+		st.DataDirWritable = &writable
+		if !writable {
+			st.OK = false
+		}
+	}
+	if st.Draining {
+		st.OK = false
+	}
+	if !st.OK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, st)
+}
+
+// dataDirWritable probes the data dir with a create+remove round trip.
+func dataDirWritable(dir string) bool {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return false
+	}
+	probe := filepath.Join(dir, ".healthz-probe")
+	f, err := os.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return os.Remove(probe) == nil
+}
+
+// handleDrain takes the server out of the admission pool: new sessions are
+// refused (ErrDraining / healthz 503) while live sessions keep streaming.
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	s.Drain()
+	writeJSON(w, map[string]any{"draining": true, "active_sessions": s.ActiveSessions()})
+}
+
+// handleSuspend seals one live durable session for migration and returns
+// its journaled offset.
+func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
+	fed, err := s.SuspendSession(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"fed": fed})
+}
+
+// handleRecover loads a session directory that appeared under the data dir
+// (a migration's copied journal) into this server.
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.RecoverSession(id); err != nil {
+		httpError(w, err)
+		return
+	}
+	offset := uint64(0)
+	if sess, ok := s.Session(id); ok {
+		offset = sess.Enqueued()
+	}
+	writeJSON(w, map[string]uint64{"fed": offset})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

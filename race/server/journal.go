@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -211,7 +212,10 @@ func (s *Server) Recover() (int, error) {
 	}()
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if e.IsDir() {
+		// Dot-prefixed directories are in-progress imports (a fleet
+		// migration copies into ".importing-<id>" and renames): half-copied
+		// state must never be resurrected as a session.
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
 			names = append(names, e.Name())
 		}
 	}
@@ -246,6 +250,78 @@ func (s *Server) Recover() (int, error) {
 		}
 	}
 	return resumed, nil
+}
+
+// RecoverSession loads one session directory that appeared under the data
+// dir after boot — the target half of a fleet migration: the router copies
+// a sealed session directory (journal + metadata) into this server's
+// sessions root, then asks it to recover just that id. An "open" session
+// replays its journal and joins the live table, resumable at the journal
+// offset; a "closed" one joins the finished archive with its report.
+func (s *Server) RecoverSession(id string) error {
+	if s.cfg.DataDir == "" {
+		return errors.New("server: no data dir; nothing to recover from")
+	}
+	if err := ValidateSessionID(id); err != nil && !isAutoID(id) {
+		return err
+	}
+	dir := filepath.Join(s.sessionsRoot(), id)
+	meta, err := readSessionMeta(dir)
+	if err != nil {
+		return err
+	}
+	if meta.ID != id {
+		return fmt.Errorf("server: session dir %s holds metadata for %q", dir, meta.ID)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	_, live := s.sessions[id]
+	husk, fin := s.finished[id]
+	if fin && husk.isSuspended() {
+		// A suspended session is not terminal — recovery is exactly how it
+		// comes back to life (the same-server suspend/recover round trip,
+		// or a migration returning home). Drop the husk from the archive
+		// so the recovered session can own the id again; its stale entry
+		// in finishedOrder trims as a no-op.
+		delete(s.finished, id)
+		fin = false
+	}
+	s.mu.Unlock()
+	if live || fin {
+		return fmt.Errorf("%w: %s", ErrIDTaken, id)
+	}
+	s.noteRecoveredID(id)
+	switch meta.State {
+	case stateClosed:
+		s.recoverFinished(dir, meta)
+		return nil
+	case stateOpen:
+		if err := s.recoverOpen(dir, meta); err != nil {
+			return err
+		}
+		s.metrics.imported.Add(1)
+		return nil
+	default:
+		return fmt.Errorf("server: session %s is %q; only open or closed sessions recover", id, meta.State)
+	}
+}
+
+// isAutoID reports whether id has the server-assigned form s<digits> —
+// RecoverSession must accept those (migrations move server-named sessions
+// too) even though callers cannot request them at open.
+func isAutoID(id string) bool {
+	if len(id) < 2 || id[0] != 's' {
+		return false
+	}
+	for i := 1; i < len(id); i++ {
+		if id[i] < '0' || id[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 func readSessionMeta(dir string) (sessionMeta, error) {

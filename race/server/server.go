@@ -25,6 +25,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -89,9 +90,11 @@ var (
 	ErrServerClosed  = errors.New("server: server is shut down")
 	ErrSessionClosed = errors.New("server: session is closed")
 	ErrEvicted       = errors.New("server: session evicted after idle timeout")
-	ErrSuspended     = errors.New("server: session suspended for shutdown (journal preserved; resume after restart)")
+	ErrSuspended     = errors.New("server: session suspended (journal preserved; resume to continue)")
 	ErrBusy          = errors.New("server: session is attached to another connection")
 	ErrUnknown       = errors.New("server: unknown session")
+	ErrDraining      = errors.New("server: draining, not accepting new sessions")
+	ErrIDTaken       = errors.New("server: session id already in use")
 )
 
 // engineSink is the slice of race.EventSink a session drives (plus Abort,
@@ -110,8 +113,10 @@ type Server struct {
 
 	mu         sync.Mutex
 	sessions   map[string]*Session
+	pendingIDs map[string]bool // requested ids reserved mid-open
 	nextID     uint64
 	closed     bool
+	draining   bool // Drain called: no new sessions, existing ones live on
 	recovering bool // Recover in progress: idle eviction is paused
 
 	// finished retains the last maxFinished terminated sessions so their
@@ -129,30 +134,37 @@ type Server struct {
 
 // metrics are the expvar-style counters /metrics serves.
 type metrics struct {
-	start    time.Time
-	events   atomic.Uint64
-	batches  atomic.Uint64
-	races    atomic.Uint64
-	opened   atomic.Uint64
-	closed   atomic.Uint64
-	evicted  atomic.Uint64
-	rejected atomic.Uint64
-	failed   atomic.Uint64
+	start     time.Time
+	events    atomic.Uint64
+	batches   atomic.Uint64
+	races     atomic.Uint64
+	opened    atomic.Uint64
+	closed    atomic.Uint64
+	evicted   atomic.Uint64
+	rejected  atomic.Uint64
+	failed    atomic.Uint64
+	suspended atomic.Uint64 // single-session suspends (migration sources)
+	imported  atomic.Uint64 // single-session recoveries (migration targets)
 }
 
 // MetricsSnapshot is one reading of the server's counters.
 type MetricsSnapshot struct {
-	ActiveSessions   int     `json:"active_sessions"`
-	SessionsOpened   uint64  `json:"sessions_opened"`
-	SessionsClosed   uint64  `json:"sessions_closed"`
-	SessionsEvicted  uint64  `json:"sessions_evicted"`
-	SessionsRejected uint64  `json:"sessions_rejected"`
-	SessionsFailed   uint64  `json:"sessions_failed"`
-	EventsTotal      uint64  `json:"events_total"`
-	BatchesTotal     uint64  `json:"batches_total"`
-	RacesTotal       uint64  `json:"races_total"`
-	UptimeSeconds    float64 `json:"uptime_seconds"`
-	EventsPerSecond  float64 `json:"events_per_second"`
+	ActiveSessions   int    `json:"active_sessions"`
+	SessionsOpened   uint64 `json:"sessions_opened"`
+	SessionsClosed   uint64 `json:"sessions_closed"`
+	SessionsEvicted  uint64 `json:"sessions_evicted"`
+	SessionsRejected uint64 `json:"sessions_rejected"`
+	SessionsFailed   uint64 `json:"sessions_failed"`
+	// SessionsSuspended counts single-session suspends (the source half of
+	// a fleet migration); SessionsImported counts single-session recoveries
+	// (the target half). Whole-server Recover resumptions are not imports.
+	SessionsSuspended uint64  `json:"sessions_suspended"`
+	SessionsImported  uint64  `json:"sessions_imported"`
+	EventsTotal       uint64  `json:"events_total"`
+	BatchesTotal      uint64  `json:"batches_total"`
+	RacesTotal        uint64  `json:"races_total"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	EventsPerSecond   float64 `json:"events_per_second"`
 	// SessionEvents maps each live session to the event count its engine
 	// has consumed — the per-tenant load view.
 	SessionEvents map[string]uint64 `json:"session_events,omitempty"`
@@ -180,9 +192,10 @@ func New(cfg Config) *Server {
 		}
 	}
 	s := &Server{
-		cfg:      cfg,
-		sessions: make(map[string]*Session),
-		finished: make(map[string]*Session),
+		cfg:        cfg,
+		sessions:   make(map[string]*Session),
+		pendingIDs: make(map[string]bool),
+		finished:   make(map[string]*Session),
 	}
 	s.metrics.start = cfg.now()
 	if cfg.IdleTimeout > 0 {
@@ -251,15 +264,66 @@ func newEngineSink(cfg SessionConfig, onRace func(race.RaceInfo), dataDir string
 // (journal + metadata) — openSession with persist=false serves callers
 // whose session never outlives the request (one-shot /ingest).
 func (s *Server) OpenSession(cfg SessionConfig) (*Session, error) {
-	return s.openSession(cfg, true)
+	return s.openSession("", cfg, true)
 }
 
-func (s *Server) openSession(cfg SessionConfig, persist bool) (*Session, error) {
+// OpenSessionWithID opens a session under a caller-chosen id instead of a
+// server-assigned one — the seam a fleet router needs: placement by
+// consistent hashing only works if the id that is hashed is the id every
+// backend stores the session under. The id must be valid (see
+// ValidateSessionID) and free, both in this process and on disk.
+func (s *Server) OpenSessionWithID(id string, cfg SessionConfig) (*Session, error) {
+	if err := ValidateSessionID(id); err != nil {
+		return nil, err
+	}
+	return s.openSession(id, cfg, true)
+}
+
+// maxSessionIDLen bounds caller-chosen session ids (they become directory
+// names under the data dir).
+const maxSessionIDLen = 64
+
+// ValidateSessionID reports whether id is acceptable as a caller-chosen
+// session id: 1–64 characters of [A-Za-z0-9._-], no leading dot (dot
+// prefixes are reserved for in-progress imports), and not of the
+// server-assigned form s<digits> (a router id colliding with the auto
+// counter would splice two tenants' streams).
+func ValidateSessionID(id string) error {
+	if id == "" || len(id) > maxSessionIDLen {
+		return fmt.Errorf("server: session id must be 1–%d characters, got %d", maxSessionIDLen, len(id))
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("server: session id %q may not start with a dot", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-'
+		if !ok {
+			return fmt.Errorf("server: session id %q contains %q (want [A-Za-z0-9._-])", id, c)
+		}
+	}
+	reserved := len(id) > 1 && id[0] == 's'
+	for i := 1; reserved && i < len(id); i++ {
+		reserved = id[i] >= '0' && id[i] <= '9'
+	}
+	if reserved {
+		return fmt.Errorf("server: session id %q is reserved for server-assigned ids (s<digits>)", id)
+	}
+	return nil
+}
+
+func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Session, error) {
 	// Cheap precheck so hopeless opens skip engine construction.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrServerClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrDraining
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
@@ -292,9 +356,43 @@ func (s *Server) openSession(cfg SessionConfig, persist bool) (*Session, error) 
 		s.metrics.rejected.Add(1)
 		return nil, ErrServerClosed
 	}
-	s.nextID++
-	sess.ID = fmt.Sprintf("s%06d", s.nextID)
+	if reqID != "" {
+		_, live := s.sessions[reqID]
+		_, fin := s.finished[reqID]
+		if live || fin || s.pendingIDs[reqID] {
+			s.mu.Unlock()
+			abortSafe(sink)
+			s.metrics.rejected.Add(1)
+			return nil, fmt.Errorf("%w: %s", ErrIDTaken, reqID)
+		}
+		// Reserve the id across the unlocked persistence build, or two
+		// concurrent opens of the same id would both pass the check and
+		// share one journal directory.
+		s.pendingIDs[reqID] = true
+		sess.ID = reqID
+	} else {
+		s.nextID++
+		sess.ID = fmt.Sprintf("s%06d", s.nextID)
+	}
 	s.mu.Unlock()
+	if reqID != "" {
+		defer func() {
+			s.mu.Lock()
+			delete(s.pendingIDs, reqID)
+			s.mu.Unlock()
+		}()
+	}
+
+	// A requested id must also be free on disk: a stale session directory
+	// under the same name would make persistInit append this tenant's
+	// stream onto a dead session's leftover journal.
+	if reqID != "" && persist && s.cfg.DataDir != "" {
+		if _, err := os.Stat(filepath.Join(s.sessionsRoot(), reqID)); err == nil {
+			abortSafe(sink)
+			s.metrics.rejected.Add(1)
+			return nil, fmt.Errorf("%w (on disk): %s", ErrIDTaken, reqID)
+		}
+	}
 
 	if persist && s.cfg.DataDir != "" {
 		if err := sess.persistInit(); err != nil {
@@ -401,6 +499,51 @@ func (s *Server) ActiveSessions() int {
 	return len(s.sessions)
 }
 
+// MaxSessions returns the admission-control session cap.
+func (s *Server) MaxSessions() int { return s.cfg.MaxSessions }
+
+// DataDir returns the durable-session root ("" for a memory-only server).
+func (s *Server) DataDir() string { return s.cfg.DataDir }
+
+// Drain stops admitting new sessions while leaving existing ones running —
+// the first half of taking a backend out of a fleet: the router sees the
+// drain through /healthz (503) and stops routing fresh sessions here, then
+// migrates the live ones at its own pace. Drain is idempotent and cannot
+// be undone short of a restart.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// SuspendSession quiesces one live durable session for migration: pending
+// batches drain into the journal and engine, the journal is synced and
+// sealed, and the session leaves the live table — on disk it stays "open",
+// so whichever server next holds the directory resumes it at the accepted
+// offset. It returns the journaled event count. Only durable sessions can
+// be suspended (a memory-only session has no journal to carry its state).
+func (s *Server) SuspendSession(id string) (uint64, error) {
+	sess, ok := s.Session(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknown, id)
+	}
+	if sess.jlog == nil {
+		return 0, fmt.Errorf("server: session %s is not durable; nothing to suspend", id)
+	}
+	if !sess.suspend() {
+		return 0, ErrSessionClosed
+	}
+	s.metrics.suspended.Add(1)
+	return sess.Fed(), nil
+}
+
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() MetricsSnapshot {
 	up := s.cfg.now().Sub(s.metrics.start).Seconds()
@@ -416,17 +559,19 @@ func (s *Server) Metrics() MetricsSnapshot {
 		perSession[sess.ID] = sess.Fed()
 	}
 	snap := MetricsSnapshot{
-		ActiveSessions:   s.ActiveSessions(),
-		SessionEvents:    perSession,
-		SessionsOpened:   s.metrics.opened.Load(),
-		SessionsClosed:   s.metrics.closed.Load(),
-		SessionsEvicted:  s.metrics.evicted.Load(),
-		SessionsRejected: s.metrics.rejected.Load(),
-		SessionsFailed:   s.metrics.failed.Load(),
-		EventsTotal:      events,
-		BatchesTotal:     s.metrics.batches.Load(),
-		RacesTotal:       s.metrics.races.Load(),
-		UptimeSeconds:    up,
+		ActiveSessions:    s.ActiveSessions(),
+		SessionEvents:     perSession,
+		SessionsOpened:    s.metrics.opened.Load(),
+		SessionsClosed:    s.metrics.closed.Load(),
+		SessionsEvicted:   s.metrics.evicted.Load(),
+		SessionsRejected:  s.metrics.rejected.Load(),
+		SessionsFailed:    s.metrics.failed.Load(),
+		SessionsSuspended: s.metrics.suspended.Load(),
+		SessionsImported:  s.metrics.imported.Load(),
+		EventsTotal:       events,
+		BatchesTotal:      s.metrics.batches.Load(),
+		RacesTotal:        s.metrics.races.Load(),
+		UptimeSeconds:     up,
 	}
 	if up > 0 {
 		snap.EventsPerSecond = float64(events) / up
@@ -755,6 +900,22 @@ func (sess *Session) Err() error {
 	return sess.err
 }
 
+// closedErr names why a closing session rejects new work. A suspended
+// session answers ErrSuspended — the caller is holding a stale handle to a
+// session that was handed off (migration, graceful shutdown) and can resume
+// it elsewhere; a failed one answers its sticky error; a cleanly closing
+// one answers ErrSessionClosed. suspend sets the suspended flag before the
+// closing flag, so any observer of closing sees the right classification.
+func (sess *Session) closedErr() error {
+	if sess.isSuspended() {
+		return ErrSuspended
+	}
+	if err := sess.Err(); err != nil {
+		return err
+	}
+	return ErrSessionClosed
+}
+
 // Fed returns the number of events the session's engine has consumed.
 func (sess *Session) Fed() uint64 {
 	sess.mu.Lock()
@@ -791,7 +952,7 @@ func (sess *Session) Feed(events []race.Event) error {
 	sess.ingestMu.Lock()
 	defer sess.ingestMu.Unlock()
 	if sess.closing {
-		return ErrSessionClosed
+		return sess.closedErr()
 	}
 	if err := sess.Err(); err != nil {
 		return err
@@ -834,13 +995,21 @@ func (sess *Session) detach() {
 	sess.mu.Unlock()
 }
 
+// Attach claims the session for one external driver (ErrBusy if another
+// holds it) — the exported seam an in-process fleet backend uses to get the
+// same one-feeder-at-a-time exclusivity a wire connection gets.
+func (sess *Session) Attach() error { return sess.attach() }
+
+// Detach releases an Attach claim.
+func (sess *Session) Detach() { sess.detach() }
+
 // Flush is the sync barrier: it returns once every previously fed batch has
 // been applied to the session's analyses, reporting any ingestion error.
 func (sess *Session) Flush() error {
 	sess.ingestMu.Lock()
 	if sess.closing {
 		sess.ingestMu.Unlock()
-		return ErrSessionClosed
+		return sess.closedErr()
 	}
 	sess.touch()
 	ack := make(chan error, 1)

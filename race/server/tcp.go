@@ -16,10 +16,15 @@ import (
 // helloPayload is the JSON body of the wire protocol's Hello frame.
 // Resume names an existing (typically journal-recovered) session to
 // re-attach to instead of opening a new one; Session is ignored then.
+// SessionID, when set on a fresh open, requests a caller-chosen id (the
+// fleet router assigns ids so a session keeps its identity across backend
+// migrations); clients verify the Ack echoes it, so an old server that
+// ignores the field is detected rather than silently mis-assigning.
 type helloPayload struct {
-	Proto   int           `json:"proto"`
-	Session SessionConfig `json:"session"`
-	Resume  string        `json:"resume,omitempty"`
+	Proto     int           `json:"proto"`
+	Session   SessionConfig `json:"session"`
+	SessionID string        `json:"session_id,omitempty"`
+	Resume    string        `json:"resume,omitempty"`
 }
 
 // ackPayload is the JSON body of the Ack frame. Fed is the event offset
@@ -128,7 +133,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	} else {
 		var err error
-		if sess, err = s.OpenSession(hello.Session); err != nil {
+		if hello.SessionID != "" {
+			sess, err = s.OpenSessionWithID(hello.SessionID, hello.Session)
+		} else {
+			sess, err = s.OpenSession(hello.Session)
+		}
+		if err != nil {
 			sendErr(err)
 			return
 		}
