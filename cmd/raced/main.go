@@ -21,6 +21,13 @@
 //	curl -s --data-binary @avrora.trace \
 //	    'localhost:7117/ingest?analysis=FTO-HB,ST-WDC' | jq .
 //	curl -s localhost:7117/metrics | jq .
+//	curl -s 'localhost:7117/metrics?format=prometheus'   # text exposition
+//
+// Observability: GET /metrics serves the canonical raced_* metric catalog
+// as JSON (plus the legacy PR 4 keys, kept as aliases for one release) or,
+// with ?format=prometheus, as Prometheus text exposition v0.0.4.
+// -debug-addr starts an optional net/http/pprof listener; -log-level sets
+// the structured-log (log/slog) threshold.
 //
 // Streaming clients use the raw-TCP wire protocol (racedetect -remote, or
 // race/server.Dial from instrumented programs).
@@ -38,49 +45,59 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (-debug-addr)
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/race/server"
 )
 
 func main() {
 	var (
-		httpAddr = flag.String("http", ":7117", "HTTP API listen address (empty disables)")
-		tcpAddr  = flag.String("tcp", ":7118", "wire-protocol TCP listen address (empty disables)")
-		maxSess  = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
-		queue    = flag.Int("queue", 32, "per-session pending-batch queue depth")
-		idle     = flag.Duration("idle", 5*time.Minute, "idle-session eviction timeout (negative disables)")
-		dataDir  = flag.String("data-dir", "", "durable-session directory: journal every session to a racelog and resume open sessions on restart (empty keeps sessions in memory)")
+		httpAddr  = flag.String("http", ":7117", "HTTP API listen address (empty disables)")
+		tcpAddr   = flag.String("tcp", ":7118", "wire-protocol TCP listen address (empty disables)")
+		maxSess   = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
+		queue     = flag.Int("queue", 32, "per-session pending-batch queue depth")
+		idle      = flag.Duration("idle", 5*time.Minute, "idle-session eviction timeout (negative disables)")
+		dataDir   = flag.String("data-dir", "", "durable-session directory: journal every session to a racelog and resume open sessions on restart (empty keeps sessions in memory)")
+		debugAddr = flag.String("debug-addr", "", "net/http/pprof listen address (empty disables)")
+		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	)
 	flag.Parse()
 	if *httpAddr == "" && *tcpAddr == "" {
 		fatalf("nothing to serve: both -http and -tcp are empty")
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("component", "raced")
 
 	srv := server.New(server.Config{
 		MaxSessions: *maxSess,
 		QueueDepth:  *queue,
 		IdleTimeout: *idle,
 		DataDir:     *dataDir,
+		Logger:      logger,
 	})
 	if *dataDir != "" {
 		resumed, err := srv.Recover()
 		if err != nil {
 			fatalf("recovering sessions from %s: %v", *dataDir, err)
 		}
-		fmt.Fprintf(os.Stderr, "raced: data dir %s (%d sessions resumed)\n", *dataDir, resumed)
+		logger.Info("data dir opened", "dir", *dataDir, "sessions_resumed", resumed)
 	}
 
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
 	if *tcpAddr != "" {
 		lis, err := net.Listen("tcp", *tcpAddr)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "raced: wire protocol on %s\n", lis.Addr())
+		logger.Info("wire protocol listening", "addr", lis.Addr().String())
 		go func() { errc <- srv.ServeTCP(lis) }()
 	}
 	if *httpAddr != "" {
@@ -88,9 +105,18 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "raced: HTTP API on %s\n", lis.Addr())
+		logger.Info("HTTP API listening", "addr", lis.Addr().String())
 		hs := &http.Server{Handler: srv.Handler()}
 		go func() { errc <- hs.Serve(lis) }()
+	}
+	if *debugAddr != "" {
+		lis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger.Info("pprof debug listening", "addr", lis.Addr().String())
+		// nil handler = DefaultServeMux, where net/http/pprof registered.
+		go func() { errc <- http.Serve(lis, nil) }()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -103,7 +129,7 @@ func main() {
 	case s := <-sig:
 		// Graceful: drain every session queue and sync + seal every
 		// journal before exiting, so a -data-dir restart resumes cleanly.
-		fmt.Fprintf(os.Stderr, "raced: %v: shutting down (%d sessions)\n", s, srv.ActiveSessions())
+		logger.Info("shutting down", "signal", s.String(), "sessions", srv.ActiveSessions())
 		srv.Shutdown()
 	}
 }

@@ -21,6 +21,14 @@
 //	curl -XPOST localhost:7119/admin/backends/b1/drain     # stop new sessions on b1
 //	curl -XPOST 'localhost:7119/admin/sessions/f0a1b2c3d4e5/migrate?to=b2'
 //	curl -s localhost:7119/metrics | jq .                  # routing + migration counters
+//	curl -s 'localhost:7119/metrics?format=prometheus'     # text exposition
+//
+// Observability: GET /metrics serves the canonical fleet_* metric catalog
+// as JSON (plus the legacy keys, kept as aliases for one release) or, with
+// ?format=prometheus, as Prometheus text exposition v0.0.4. -debug-addr
+// starts an optional net/http/pprof listener; -log-level sets the
+// structured-log (log/slog) threshold. cmd/racemon scrapes a router and
+// its backends together into fleet-wide load reports.
 //
 // Migration requires the backend data dirs to be paths the router can read
 // and write (same host or a shared filesystem): the router suspends the
@@ -35,12 +43,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (-debug-addr)
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/race/fleet"
 )
 
@@ -61,6 +71,8 @@ func main() {
 		vnodes    = flag.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per backend on the hash ring")
 		interval  = flag.Duration("probe-interval", fleet.DefaultProbeInterval, "health-probe interval")
 		threshold = flag.Int("probe-threshold", fleet.DefaultProbeThreshold, "consecutive probe failures before a backend is down")
+		debugAddr = flag.String("debug-addr", "", "net/http/pprof listen address (empty disables)")
+		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	)
 	flag.Var(&backendSpecs, "backend", "backend as name,tcpAddr,httpAddr[,dataDir] (repeatable)")
 	flag.Parse()
@@ -71,6 +83,11 @@ func main() {
 	if *httpAddr == "" && *tcpAddr == "" {
 		fatalf("nothing to serve: both -http and -tcp are empty")
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("component", "racefleet")
 	var backends []fleet.Backend
 	for _, spec := range backendSpecs {
 		parts := strings.Split(spec, ",")
@@ -92,20 +109,21 @@ func main() {
 		VNodes:         *vnodes,
 		ProbeInterval:  *interval,
 		ProbeThreshold: *threshold,
+		Logger:         logger,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer rt.Close()
-	fmt.Fprintf(os.Stderr, "racefleet: routing over %s\n", strings.Join(rt.Backends(), ", "))
+	logger.Info("routing", "backends", strings.Join(rt.Backends(), ", "))
 
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
 	if *tcpAddr != "" {
 		lis, err := net.Listen("tcp", *tcpAddr)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "racefleet: wire protocol on %s\n", lis.Addr())
+		logger.Info("wire protocol listening", "addr", lis.Addr().String())
 		go func() { errc <- rt.ServeTCP(lis) }()
 	}
 	if *httpAddr != "" {
@@ -113,9 +131,18 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "racefleet: HTTP API on %s\n", lis.Addr())
+		logger.Info("HTTP API listening", "addr", lis.Addr().String())
 		hs := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
 		go func() { errc <- hs.Serve(lis) }()
+	}
+	if *debugAddr != "" {
+		lis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger.Info("pprof debug listening", "addr", lis.Addr().String())
+		// nil handler = DefaultServeMux, where net/http/pprof registered.
+		go func() { errc <- http.Serve(lis, nil) }()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -128,7 +155,7 @@ func main() {
 	case s := <-sig:
 		// The router is stateless: sessions live in backend journals, so
 		// there is nothing to drain here.
-		fmt.Fprintf(os.Stderr, "racefleet: %v: shutting down\n", s)
+		logger.Info("shutting down", "signal", s.String())
 	}
 }
 

@@ -1,0 +1,349 @@
+// Command racemon is a sidecar metrics collector for a raced fleet: it
+// polls the Prometheus exposition of N /metrics endpoints (raced backends
+// and/or a racefleet router) on a fixed interval, aggregates fleet-wide
+// throughput from counter deltas, and writes a LOAD_*.json report — the
+// collector half of the ReqBench-style load harness (ROADMAP item 1).
+//
+//	raced -http :7117 & raced -http :7127 &
+//	racemon -target localhost:7117 -target localhost:7127 \
+//	    -interval 5s -cycles 12 -o LOAD_run.json
+//	racemon -check LOAD_run.json        # validate schema + monotonicity
+//
+// Every cycle records, per target: reachability, every counter and gauge
+// by canonical name, and each histogram as {count, sum, p50, p90, p99}.
+// The fleet aggregate is events/second computed from the deltas of
+// raced_events_analyzed_total across all targets. The summary carries
+// sustained and peak throughput, merged flush-ack quantiles, and the
+// scrape-error count.
+//
+// -check re-reads a report and fails (non-zero exit) unless the schema is
+// racemon/v1, at least one cycle was collected, and every per-target
+// counter is monotone non-decreasing across cycles — the same assertions
+// CI's metrics-smoke job makes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const schemaVersion = "racemon/v1"
+
+// Report is the LOAD_*.json document.
+type Report struct {
+	Schema          string   `json:"schema"`
+	IntervalSeconds float64  `json:"interval_seconds"`
+	Targets         []string `json:"targets"`
+	Cycles          []Cycle  `json:"cycles"`
+	Summary         Summary  `json:"summary"`
+}
+
+// Cycle is one polling round across every target.
+type Cycle struct {
+	Targets map[string]TargetSample `json:"targets"`
+	Fleet   FleetSample             `json:"fleet"`
+}
+
+// TargetSample is one target's scrape: flat counter/gauge values by
+// canonical name and histograms reduced to count/sum/quantiles.
+type TargetSample struct {
+	Up         bool                 `json:"up"`
+	Counters   map[string]float64   `json:"counters,omitempty"`
+	Gauges     map[string]float64   `json:"gauges,omitempty"`
+	Histograms map[string]HistStats `json:"histograms,omitempty"`
+}
+
+// HistStats summarizes one histogram family (samples merged across its
+// label sets).
+type HistStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// FleetSample is the cross-target aggregate for one cycle.
+type FleetSample struct {
+	// EventsPerSecond is the fleet-wide analysis throughput over the
+	// interval ending at this cycle (0 for the first cycle — no delta yet).
+	EventsPerSecond float64 `json:"events_per_second"`
+	// EventsAnalyzedTotal sums raced_events_analyzed_total across targets.
+	EventsAnalyzedTotal float64 `json:"events_analyzed_total"`
+}
+
+// Summary is the whole run reduced to its headline numbers.
+type Summary struct {
+	Cycles                   int     `json:"cycles"`
+	ScrapeErrors             int     `json:"scrape_errors"`
+	SustainedEventsPerSecond float64 `json:"sustained_events_per_second"`
+	PeakEventsPerSecond      float64 `json:"peak_events_per_second"`
+	FlushAckP50Seconds       float64 `json:"flush_ack_p50_seconds"`
+	FlushAckP99Seconds       float64 `json:"flush_ack_p99_seconds"`
+}
+
+type targetFlag []string
+
+func (t *targetFlag) String() string { return strings.Join(*t, ",") }
+func (t *targetFlag) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var targets targetFlag
+	var (
+		interval = flag.Duration("interval", 5*time.Second, "polling interval")
+		cycles   = flag.Int("cycles", 0, "number of polling rounds (0 runs until SIGINT/SIGTERM)")
+		out      = flag.String("o", "LOAD_racemon.json", "report output path")
+		check    = flag.String("check", "", "validate an existing report instead of collecting")
+		logLevel = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
+	)
+	flag.Var(&targets, "target", "metrics endpoint as host:port or URL (repeatable)")
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("component", "racemon")
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fatalf("%s: %v", *check, err)
+		}
+		logger.Info("report valid", "path", *check)
+		return
+	}
+	if len(targets) == 0 {
+		fatalf("no targets: pass at least one -target host:port")
+	}
+	urls := make([]string, len(targets))
+	for i, t := range targets {
+		urls[i] = normalizeTarget(t)
+	}
+
+	rep := &Report{
+		Schema:          schemaVersion,
+		IntervalSeconds: interval.Seconds(),
+		Targets:         urls,
+	}
+	client := &http.Client{Timeout: *interval}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var (
+		prevTotal   float64
+		prevAt      time.Time
+		totalDelta  float64
+		firstSample time.Time
+	)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+collect:
+	for i := 0; *cycles == 0 || i < *cycles; i++ {
+		now := time.Now()
+		cyc := Cycle{Targets: make(map[string]TargetSample, len(urls))}
+		for _, u := range urls {
+			s, err := scrape(client, u)
+			if err != nil {
+				logger.Warn("scrape failed", "target", u, "err", err)
+				rep.Summary.ScrapeErrors++
+				cyc.Targets[u] = TargetSample{Up: false}
+				continue
+			}
+			cyc.Targets[u] = s
+			cyc.Fleet.EventsAnalyzedTotal += s.Counters["raced_events_analyzed_total"]
+		}
+		if !prevAt.IsZero() {
+			dt := now.Sub(prevAt).Seconds()
+			delta := cyc.Fleet.EventsAnalyzedTotal - prevTotal
+			if dt > 0 && delta >= 0 {
+				cyc.Fleet.EventsPerSecond = delta / dt
+				totalDelta += delta
+				if cyc.Fleet.EventsPerSecond > rep.Summary.PeakEventsPerSecond {
+					rep.Summary.PeakEventsPerSecond = cyc.Fleet.EventsPerSecond
+				}
+			}
+		} else {
+			firstSample = now
+		}
+		prevTotal, prevAt = cyc.Fleet.EventsAnalyzedTotal, now
+		rep.Cycles = append(rep.Cycles, cyc)
+		logger.Debug("cycle", "n", i, "events_total", cyc.Fleet.EventsAnalyzedTotal,
+			"events_per_second", cyc.Fleet.EventsPerSecond)
+
+		if *cycles != 0 && i == *cycles-1 {
+			break
+		}
+		select {
+		case <-tick.C:
+		case s := <-sig:
+			logger.Info("stopping", "signal", s.String())
+			break collect
+		}
+	}
+
+	finalize(rep, prevAt.Sub(firstSample).Seconds(), totalDelta)
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, append(doc, '\n'), 0o666); err != nil {
+		fatalf("%v", err)
+	}
+	logger.Info("report written", "path", *out, "cycles", len(rep.Cycles),
+		"sustained_eps", rep.Summary.SustainedEventsPerSecond)
+}
+
+// normalizeTarget turns host:port into a full metrics URL.
+func normalizeTarget(t string) string {
+	if !strings.Contains(t, "://") {
+		t = "http://" + t
+	}
+	return strings.TrimSuffix(t, "/")
+}
+
+// scrape fetches and reduces one target's Prometheus exposition.
+func scrape(client *http.Client, base string) (TargetSample, error) {
+	res, err := client.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		return TargetSample{}, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return TargetSample{}, fmt.Errorf("status %s", res.Status)
+	}
+	fams, err := obs.ParseText(res.Body)
+	if err != nil {
+		return TargetSample{}, err
+	}
+	s := TargetSample{
+		Up:         true,
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistStats),
+	}
+	for _, f := range fams {
+		switch f.Type {
+		case "histogram":
+			if h := f.Histogram(); h != nil {
+				s.Histograms[f.Name] = HistStats{
+					Count: h.Count, Sum: h.Sum,
+					P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+				}
+			}
+		case "gauge":
+			for _, sm := range f.Samples {
+				s.Gauges[sampleKey(sm)] += sm.Value
+			}
+		default: // counter, untyped
+			for _, sm := range f.Samples {
+				s.Counters[sampleKey(sm)] += sm.Value
+			}
+		}
+	}
+	return s, nil
+}
+
+// sampleKey spells a series name{labels} the way the exposition does, so
+// report keys match what an operator sees when scraping by hand.
+func sampleKey(s obs.Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	parts := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// finalize computes the run summary from the collected cycles.
+func finalize(rep *Report, elapsed, totalDelta float64) {
+	rep.Summary.Cycles = len(rep.Cycles)
+	if elapsed > 0 {
+		rep.Summary.SustainedEventsPerSecond = totalDelta / elapsed
+	}
+	if len(rep.Cycles) == 0 {
+		return
+	}
+	// Flush-ack quantiles from the last cycle, worst target wins (merging
+	// interpolated quantiles across targets would fabricate precision).
+	last := rep.Cycles[len(rep.Cycles)-1]
+	for _, ts := range last.Targets {
+		if h, ok := ts.Histograms["raced_flush_ack_seconds"]; ok && h.Count > 0 {
+			if h.P50 > rep.Summary.FlushAckP50Seconds {
+				rep.Summary.FlushAckP50Seconds = h.P50
+			}
+			if h.P99 > rep.Summary.FlushAckP99Seconds {
+				rep.Summary.FlushAckP99Seconds = h.P99
+			}
+		}
+	}
+}
+
+// checkReport validates a LOAD_*.json document: schema version, at least
+// one cycle, and per-target counter monotonicity across cycles.
+func checkReport(path string) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if rep.Schema != schemaVersion {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, schemaVersion)
+	}
+	if len(rep.Targets) == 0 {
+		return fmt.Errorf("no targets recorded")
+	}
+	if len(rep.Cycles) == 0 {
+		return fmt.Errorf("no cycles collected")
+	}
+	if rep.Summary.Cycles != len(rep.Cycles) {
+		return fmt.Errorf("summary.cycles = %d but %d cycles recorded", rep.Summary.Cycles, len(rep.Cycles))
+	}
+	prev := make(map[string]map[string]float64) // target → counter → last value
+	for i, cyc := range rep.Cycles {
+		for tgt, ts := range cyc.Targets {
+			if !ts.Up {
+				continue
+			}
+			if prev[tgt] == nil {
+				prev[tgt] = make(map[string]float64)
+			}
+			names := make([]string, 0, len(ts.Counters))
+			for name := range ts.Counters {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				v := ts.Counters[name]
+				if last, ok := prev[tgt][name]; ok && v < last {
+					return fmt.Errorf("cycle %d: %s %s went backwards (%v -> %v)", i, tgt, name, last, v)
+				}
+				prev[tgt][name] = v
+			}
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "racemon: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name (which for
+// histogram series includes the _bucket/_sum/_count suffix), its
+// labels, and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label, or "".
+func (s *Sample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family is a group of samples sharing a family name, as introduced by
+// a # TYPE line (or first appearance, for untyped input).
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", or "untyped"
+	Help    string
+	Samples []Sample
+}
+
+// Histogram reconstructs a HistogramValue from a histogram family's
+// _bucket/_sum/_count samples, merging series that differ only in their
+// "le" label (label sets beyond "le" are ignored, i.e. pre-aggregated).
+// Returns nil if the family holds no bucket samples.
+func (f *Family) Histogram() *HistogramValue {
+	type bkt struct {
+		bound float64
+		count uint64
+	}
+	var (
+		buckets []bkt
+		sum     float64
+		inf     uint64
+		haveInf bool
+	)
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le := s.Label("le")
+			if le == "+Inf" {
+				inf += uint64(s.Value)
+				haveInf = true
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			buckets = append(buckets, bkt{b, uint64(s.Value)})
+		case f.Name + "_sum":
+			sum += s.Value
+		}
+	}
+	if !haveInf && len(buckets) == 0 {
+		return nil
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].bound < buckets[j].bound })
+	// Merge duplicate bounds (multiple label sets pre-aggregated).
+	merged := buckets[:0]
+	for _, b := range buckets {
+		if n := len(merged); n > 0 && merged[n-1].bound == b.bound {
+			merged[n-1].count += b.count
+		} else {
+			merged = append(merged, b)
+		}
+	}
+	v := &HistogramValue{Sum: sum}
+	var prev uint64
+	for _, b := range merged {
+		v.Bounds = append(v.Bounds, b.bound)
+		v.Counts = append(v.Counts, b.count-prev) // de-cumulate
+		prev = b.count
+	}
+	if !haveInf {
+		inf = prev
+	}
+	v.Counts = append(v.Counts, inf-prev)
+	v.Count = inf
+	return v
+}
+
+// ParseText parses a Prometheus text-format v0.0.4 exposition into
+// families. It accepts the subset WriteText produces plus timestamps
+// (ignored) and untyped metrics. Histogram child series (_bucket, _sum,
+// _count) are attached to their parent family.
+func ParseText(r io.Reader) ([]Family, error) {
+	var (
+		fams  []Family
+		index = make(map[string]int)
+	)
+	family := func(name string) *Family {
+		if i, ok := index[name]; ok {
+			return &fams[i]
+		}
+		index[name] = len(fams)
+		fams = append(fams, Family{Name: name, Type: "untyped"})
+		return &fams[len(fams)-1]
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 {
+				switch fields[1] {
+				case "TYPE":
+					f := family(fields[2])
+					if len(fields) == 4 {
+						f.Type = fields[3]
+					}
+				case "HELP":
+					f := family(fields[2])
+					if len(fields) == 4 {
+						f.Help = unescapeHelp(fields[3])
+					}
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		fam := family(familyName(s.Name, index))
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// familyName maps a sample name onto its family: histogram child
+// suffixes fold into an already-declared parent family.
+func familyName(name string, index map[string]int) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := index[base]; declared {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+
+	// Name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:end]
+	rest = rest[end:]
+
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil // fields[1], if present, is a timestamp — ignored
+}
+
+func parseLabels(rest string) ([]Label, string, error) {
+	rest = rest[1:] // consume '{'
+	var labels []Label
+	for {
+		rest = strings.TrimLeft(rest, ", \t")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return nil, "", fmt.Errorf("malformed label")
+		}
+		key := rest[:eq]
+		val, tail, err := parseQuoted(rest[eq+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels = append(labels, Label{Key: key, Value: val})
+		rest = tail
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string and
+// returns the unescaped value plus the remainder.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}

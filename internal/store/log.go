@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -50,6 +51,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	metas, dropped, err := recoverDir(dir)
 	if err != nil {
 		return nil, err
@@ -111,6 +113,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l.appended = l.active.last()
 	l.synced = l.appended
+	opts.Metrics.recovery(time.Since(t0))
 	return l, nil
 }
 
@@ -317,6 +320,7 @@ func (l *Log) append(ev trace.Event) error {
 // the whole segment durable (footer write + fsync), so rotation is also a
 // sync point.
 func (l *Log) rotate() error {
+	t0 := time.Now()
 	if err := l.seal(); err != nil {
 		return err
 	}
@@ -328,6 +332,7 @@ func (l *Log) rotate() error {
 	if l.synced < first {
 		l.synced = first
 	}
+	l.opts.Metrics.rotation(time.Since(t0))
 	return nil
 }
 
@@ -357,6 +362,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return errors.New("store: sync of closed racelog")
 	}
+	t0 := time.Now()
 	if err := l.bw.Flush(); err != nil {
 		return err
 	}
@@ -366,6 +372,7 @@ func (l *Log) Sync() error {
 		}
 	}
 	l.synced = l.appended
+	l.opts.Metrics.sync(time.Since(t0))
 	return nil
 }
 

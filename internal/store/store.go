@@ -71,7 +71,9 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -104,6 +106,45 @@ type Options struct {
 	// reduced to whatever the OS has written back — appropriate for
 	// scratch spills whose lifetime is the owning process's.
 	NoSync bool
+	// Metrics, when non-nil, receives the log's operational timings
+	// (rotation, recovery, fsync). The hooks fire on the slow paths
+	// only — per-record appends stay untimed.
+	Metrics *Metrics
+}
+
+// Metrics are the racelog's observability hooks: pre-registered
+// histograms the log observes into. Every field is optional; a nil
+// *Metrics (or field) disables that timing.
+type Metrics struct {
+	// RotationSeconds times rotate (seal + fsync + next-segment start).
+	RotationSeconds *obs.Histogram
+	// RecoverySeconds times Open's recovery scan (CRC verification,
+	// torn-tail truncation, tail resume).
+	RecoverySeconds *obs.Histogram
+	// SyncSeconds times Sync (flush + fsync) — on a raced journal this
+	// is the fsync cost inside every flush barrier.
+	SyncSeconds *obs.Histogram
+}
+
+// The observation methods are nil-safe on both the receiver and the
+// individual hook, so call sites need no guards.
+
+func (m *Metrics) rotation(d time.Duration) {
+	if m != nil && m.RotationSeconds != nil {
+		m.RotationSeconds.ObserveDuration(d)
+	}
+}
+
+func (m *Metrics) recovery(d time.Duration) {
+	if m != nil && m.RecoverySeconds != nil {
+		m.RecoverySeconds.ObserveDuration(d)
+	}
+}
+
+func (m *Metrics) sync(d time.Duration) {
+	if m != nil && m.SyncSeconds != nil {
+		m.SyncSeconds.ObserveDuration(d)
+	}
 }
 
 // Summary aggregates what a range of records contains: per-op counts and

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/trace"
@@ -72,6 +73,7 @@ type engineConfig struct {
 	batch          int
 	spillDir       string
 	spillThreshold int
+	met            *EngineMetrics
 }
 
 // Option configures an Engine.
@@ -187,7 +189,8 @@ type Engine struct {
 
 	keep   bool // retain events for vindication at Close
 	events []Event
-	spill  *spillState // non-nil iff WithSpill configured (with vindication)
+	spill  *spillState    // non-nil iff WithSpill configured (with vindication)
+	met    *EngineMetrics // non-nil iff WithMetrics configured
 
 	// Observed id-space sizes (max id + 1), maintained per event so a
 	// retained stream can be rebuilt into a well-declared Trace.
@@ -226,7 +229,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		}
 		cells = append([]Cell{{rel, lvl}}, cells...)
 	}
-	e := &Engine{onRace: cfg.onRace, keep: cfg.vindicate}
+	e := &Engine{onRace: cfg.onRace, keep: cfg.vindicate, met: cfg.met}
 	if e.keep && cfg.spillDir != "" {
 		threshold := cfg.spillThreshold
 		if threshold <= 0 {
@@ -322,25 +325,38 @@ func (e *Engine) Feed(ev Event) error {
 			return err
 		}
 		e.fed++
+		if e.met != nil {
+			e.met.eventsFed.Inc()
+		}
 		return nil
 	}
 	for i := range e.dets {
 		d := &e.dets[i]
 		d.a.Handle(ev)
-		if e.onRace != nil {
+		if e.onRace != nil || e.met != nil {
 			e.deliverNew(d)
 		}
 	}
 	e.fed++
+	if e.met != nil {
+		e.met.eventsFed.Inc()
+	}
 	return nil
 }
 
-// deliverNew invokes the OnRace callback for d's not-yet-delivered races.
-// RaceCount is a cheap counter read; the race records are only touched on
-// the (rare) events that detected something.
+// deliverNew invokes the OnRace callback for d's not-yet-delivered races
+// and counts them into the metrics registry. RaceCount is a cheap counter
+// read; the race records are only touched on the (rare) events that
+// detected something.
 func (e *Engine) deliverNew(d *engineDet) {
 	col := d.a.Races()
 	for n := col.RaceCount(); d.seen < n; d.seen++ {
+		if e.met != nil {
+			e.met.races.Inc()
+		}
+		if e.onRace == nil {
+			continue
+		}
 		rc := col.RaceAt(d.seen)
 		e.onRace(RaceInfo{
 			Analysis: d.entry.Name,
@@ -385,6 +401,10 @@ func (e *Engine) FeedBatch(evs []Event) error {
 	if e.err != nil {
 		return e.err
 	}
+	var t0 time.Time
+	if e.met != nil {
+		t0 = time.Now()
+	}
 	var verr error
 	valid := evs
 	if e.chk != nil {
@@ -418,12 +438,16 @@ func (e *Engine) FeedBatch(evs []Event) error {
 			for _, ev := range valid {
 				d.a.Handle(ev)
 			}
-			if e.onRace != nil {
+			if e.onRace != nil || e.met != nil {
 				e.deliverNew(d)
 			}
 		}
 	}
 	e.fed += len(valid)
+	if e.met != nil {
+		e.met.eventsFed.Add(uint64(len(valid)))
+		e.met.feedBatch.ObserveDuration(time.Since(t0))
+	}
 	if verr != nil {
 		e.err = verr
 	}

@@ -35,9 +35,8 @@ const (
 
 // probeRecord is one backend's health as maintained by the monitor.
 type probeRecord struct {
-	state         atomic.Int32
-	consecFails   atomic.Int32
-	probeFailures atomic.Uint64 // total failed probes (metrics)
+	state       atomic.Int32
+	consecFails atomic.Int32
 }
 
 // healthMonitor probes every backend's Healthz on a fixed interval. A
@@ -47,6 +46,11 @@ type healthMonitor struct {
 	interval  time.Duration
 	threshold int
 	records   map[string]*probeRecord
+
+	// onProbe, when set before start, observes every probe's RTT and
+	// outcome (metrics). Synthetic state changes — markDown, admin
+	// drain — do not pass through it.
+	onProbe func(name string, rtt time.Duration, err error)
 
 	stop chan struct{}
 	once sync.Once
@@ -96,7 +100,12 @@ func (h *healthMonitor) start(probe func(ctx context.Context, name string) error
 func (h *healthMonitor) runProbe(probe func(ctx context.Context, name string) error, name string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), h.interval)
 	defer cancel()
-	return probe(ctx, name)
+	t0 := time.Now()
+	err := probe(ctx, name)
+	if h.onProbe != nil {
+		h.onProbe(name, time.Since(t0), err)
+	}
+	return err
 }
 
 // observe folds one probe result into the backend's state machine.
@@ -110,7 +119,6 @@ func (h *healthMonitor) observe(name string, err error) {
 		rec.consecFails.Store(0)
 		rec.state.Store(stateDraining)
 	default:
-		rec.probeFailures.Add(1)
 		if int(rec.consecFails.Add(1)) >= h.threshold {
 			rec.state.Store(stateDown)
 		}
@@ -149,11 +157,4 @@ func (h *healthMonitor) status(name string) string {
 		return "unknown"
 	}
 	return stateName(rec.state.Load())
-}
-
-func (h *healthMonitor) failures(name string) uint64 {
-	if rec, ok := h.records[name]; ok {
-		return rec.probeFailures.Load()
-	}
-	return 0
 }

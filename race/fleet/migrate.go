@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/race/server"
 )
@@ -116,18 +117,29 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
+// suspendTimed suspends id on b, observing the seal latency of successful
+// suspends into the migration-suspend histogram.
+func (rt *Router) suspendTimed(ctx context.Context, b Backend, id string) (uint64, error) {
+	t0 := time.Now()
+	fed, err := b.Suspend(ctx, id)
+	if err == nil {
+		rt.metrics.migSuspend.ObserveDuration(time.Since(t0))
+	}
+	return fed, err
+}
+
 // migrate moves session id from src (whose directory holds it; src may be
 // dead) to dst and recovers it there. The source directory is removed only
 // after the target has recovered the session, so a failure at any step
 // leaves a resumable copy somewhere.
 func (rt *Router) migrate(ctx context.Context, id string, srcDataDir string, dst Backend) error {
-	rt.metrics.migStarted.Add(1)
+	rt.metrics.migStarted.Inc()
 	err := rt.doMigrate(ctx, id, srcDataDir, dst)
 	if err != nil {
-		rt.metrics.migFailed.Add(1)
+		rt.metrics.migFailed.Inc()
 		return err
 	}
-	rt.metrics.migCompleted.Add(1)
+	rt.metrics.migCompleted.Inc()
 	return nil
 }
 
@@ -136,10 +148,13 @@ func (rt *Router) doMigrate(ctx context.Context, id string, srcDataDir string, d
 		return fmt.Errorf("fleet: migrating %s: both backends need data dirs", id)
 	}
 	if srcDataDir != dst.DataDir() {
+		t0 := time.Now()
 		if err := copySessionDir(srcDataDir, dst.DataDir(), id); err != nil {
 			return err
 		}
+		rt.metrics.migCopy.ObserveDuration(time.Since(t0))
 	}
+	t1 := time.Now()
 	if err := dst.RecoverSession(ctx, id); err != nil {
 		// Leave both copies; the source dir is still authoritative.
 		if srcDataDir != dst.DataDir() {
@@ -147,6 +162,7 @@ func (rt *Router) doMigrate(ctx context.Context, id string, srcDataDir string, d
 		}
 		return fmt.Errorf("fleet: recovering %s on %s: %w", id, dst.Name(), err)
 	}
+	rt.metrics.migRecover.ObserveDuration(time.Since(t1))
 	if srcDataDir != dst.DataDir() {
 		if err := os.RemoveAll(sessionDir(srcDataDir, id)); err != nil {
 			return fmt.Errorf("fleet: removing migrated source dir for %s: %w", id, err)
@@ -178,7 +194,7 @@ func (rt *Router) MigrateSession(ctx context.Context, id, to string) error {
 		if name == to || !rt.health.reachable(name) || b.DataDir() == "" {
 			continue
 		}
-		if _, err := b.Suspend(ctx, id); err != nil {
+		if _, err := rt.suspendTimed(ctx, b, id); err != nil {
 			if isUnreachable(err) {
 				rt.health.markDown(name)
 			}

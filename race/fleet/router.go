@@ -8,13 +8,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/race/server"
 )
@@ -34,8 +34,9 @@ type Router struct {
 	names    []string // sorted, fixed at construction
 	ring     *ring
 	health   *healthMonitor
-	counters map[string]*backendCounters
-	metrics  routerMetrics
+	reg      *obs.Registry
+	metrics  *fleetMetrics
+	logger   *slog.Logger
 
 	lockMu    sync.Mutex
 	sessLocks map[string]*sync.Mutex
@@ -50,18 +51,15 @@ type Options struct {
 	// (DefaultProbeInterval / DefaultProbeThreshold when zero).
 	ProbeInterval  time.Duration
 	ProbeThreshold int
-}
 
-type backendCounters struct {
-	sessionsRouted atomic.Uint64
-	resumesRouted  atomic.Uint64
-}
+	// Registry receives the router's fleet_* metrics. Nil creates a
+	// private registry, reachable via Router.Registry. A registry must
+	// not be shared between Routers (series would collide).
+	Registry *obs.Registry
 
-type routerMetrics struct {
-	migStarted   atomic.Uint64
-	migCompleted atomic.Uint64
-	migFailed    atomic.Uint64
-	redirects    atomic.Uint64
+	// Logger receives the router's structured logs. Nil uses
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // New builds a router over backends and starts health probing. Close stops
@@ -72,8 +70,15 @@ func New(backends []Backend, opts Options) (*Router, error) {
 	}
 	rt := &Router{
 		backends:  make(map[string]Backend, len(backends)),
-		counters:  make(map[string]*backendCounters, len(backends)),
 		sessLocks: make(map[string]*sync.Mutex),
+		reg:       opts.Registry,
+		logger:    opts.Logger,
+	}
+	if rt.reg == nil {
+		rt.reg = obs.NewRegistry()
+	}
+	if rt.logger == nil {
+		rt.logger = slog.Default()
 	}
 	for _, b := range backends {
 		name := b.Name()
@@ -85,15 +90,21 @@ func New(backends []Backend, opts Options) (*Router, error) {
 		}
 		rt.backends[name] = b
 		rt.names = append(rt.names, name)
-		rt.counters[name] = &backendCounters{}
 	}
+	rt.metrics = newFleetMetrics(rt.reg, rt.names)
 	rt.ring = newRing(rt.names, opts.VNodes)
 	rt.health = newHealthMonitor(rt.names, opts.ProbeInterval, opts.ProbeThreshold)
+	rt.metrics.registerBackendUp(rt.reg, rt.names, rt.health)
+	rt.health.onProbe = rt.metrics.probeHook
 	rt.health.start(func(ctx context.Context, name string) error {
 		return rt.backends[name].Healthz(ctx)
 	})
 	return rt, nil
 }
+
+// Registry exposes the router's metrics registry (the one from
+// Options.Registry, or the private default).
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
 
 // Close stops health probing. Sessions keep living on their backends.
 func (rt *Router) Close() { rt.health.close() }
@@ -143,7 +154,7 @@ func (rt *Router) routeOpen(ctx context.Context, id string, cfg server.SessionCo
 		b := rt.backends[name]
 		sess, err := b.Open(ctx, id, cfg)
 		if err == nil {
-			rt.counters[name].sessionsRouted.Add(1)
+			rt.metrics.sessionsRouted[name].Inc()
 			return sess, b, nil
 		}
 		lastErr = err
@@ -170,7 +181,7 @@ func (rt *Router) resumeOn(ctx context.Context, b Backend, id string) (Session, 
 	if err != nil {
 		return nil, 0, err
 	}
-	rt.counters[b.Name()].resumesRouted.Add(1)
+	rt.metrics.resumesRouted[b.Name()].Inc()
 	return sess, fed, nil
 }
 
@@ -236,7 +247,7 @@ func (rt *Router) routeResume(ctx context.Context, id string) (Session, uint64, 
 			}
 			// Draining backend: move the session to the target now.
 			sess.Release()
-			if _, err := b.Suspend(ctx, id); err != nil {
+			if _, err := rt.suspendTimed(ctx, b, id); err != nil {
 				return nil, 0, nil, fmt.Errorf("fleet: suspending %s on draining %s: %w", id, name, err)
 			}
 			if err := rt.migrate(ctx, id, b.DataDir(), target); err != nil {
@@ -256,8 +267,8 @@ func (rt *Router) routeResume(ctx context.Context, id string) (Session, uint64, 
 		if err := target.RecoverSession(ctx, id); err != nil {
 			return nil, 0, nil, err
 		}
-		rt.metrics.migStarted.Add(1) // in-place recovery counts as a (trivial) migration
-		rt.metrics.migCompleted.Add(1)
+		rt.metrics.migStarted.Inc() // in-place recovery counts as a (trivial) migration
+		rt.metrics.migCompleted.Inc()
 		sess, fed, err := rt.resumeOn(ctx, target, id)
 		return sess, fed, target, err
 	}
@@ -269,7 +280,7 @@ func (rt *Router) routeResume(ctx context.Context, id string) (Session, uint64, 
 		if rt.health.reachable(name) {
 			// Best effort: if it is somehow still live there, seal it
 			// before copying. "Unknown session" just means it already is.
-			b.Suspend(ctx, id)
+			rt.suspendTimed(ctx, b, id)
 		}
 		if err := rt.migrate(ctx, id, b.DataDir(), target); err != nil {
 			return nil, 0, nil, err
@@ -330,7 +341,7 @@ func (rt *Router) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer func() {
 		if r := recover(); r != nil {
-			log.Printf("fleet: connection handler panic from %v: %v", conn.RemoteAddr(), r)
+			rt.logger.Error("connection handler panic", "remote", conn.RemoteAddr(), "panic", r)
 		}
 	}()
 	ctx := context.Background()
@@ -343,7 +354,7 @@ func (rt *Router) serveConn(conn net.Conn) {
 		}
 	}
 	sendRedirect := func() {
-		rt.metrics.redirects.Add(1)
+		rt.metrics.redirects.Inc()
 		if werr := wire.WriteFrame(bw, wire.TRedirect, nil); werr == nil {
 			bw.Flush()
 		}

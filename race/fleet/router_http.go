@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/race/server"
 )
 
@@ -33,22 +34,24 @@ type BackendMetrics struct {
 	ProbeFailures uint64 `json:"probe_failures"`
 }
 
-// Snapshot returns the router's metrics.
+// Snapshot returns the router's metrics. The document's keys predate the
+// obs registry and are kept as aliases of the canonical fleet_* series
+// (same counters, so the views cannot disagree); scrape the registry for
+// the canonical names.
 func (rt *Router) Snapshot() Metrics {
 	m := Metrics{
-		MigrationsStarted:   rt.metrics.migStarted.Load(),
-		MigrationsCompleted: rt.metrics.migCompleted.Load(),
-		MigrationsFailed:    rt.metrics.migFailed.Load(),
-		RedirectsSent:       rt.metrics.redirects.Load(),
+		MigrationsStarted:   rt.metrics.migStarted.Value(),
+		MigrationsCompleted: rt.metrics.migCompleted.Value(),
+		MigrationsFailed:    rt.metrics.migFailed.Value(),
+		RedirectsSent:       rt.metrics.redirects.Value(),
 		Backends:            make(map[string]BackendMetrics, len(rt.names)),
 	}
 	for _, name := range rt.names {
-		c := rt.counters[name]
 		m.Backends[name] = BackendMetrics{
 			Status:         rt.health.status(name),
-			SessionsRouted: c.sessionsRouted.Load(),
-			ResumesRouted:  c.resumesRouted.Load(),
-			ProbeFailures:  rt.health.failures(name),
+			SessionsRouted: rt.metrics.sessionsRouted[name].Value(),
+			ResumesRouted:  rt.metrics.resumesRouted[name].Value(),
+			ProbeFailures:  rt.metrics.probeFailures[name].Value(),
 		}
 	}
 	return m
@@ -109,7 +112,7 @@ func (rt *Router) handleOpen(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, ErrNoBackends.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	rt.counters[b.Name()].sessionsRouted.Add(1)
+	rt.metrics.sessionsRouted[b.Name()].Inc()
 	b.Proxy(w, r)
 }
 
@@ -206,8 +209,27 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"ok": ok, "routable_backends": routable, "backends": status})
 }
 
-func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, rt.Snapshot())
+// handleMetrics serves the registry two ways: Prometheus text exposition
+// under ?format=prometheus, otherwise the canonical-name JSON map with the
+// legacy Metrics document merged over it (legacy keys win, as aliases for
+// one release).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		obs.WriteText(w, rt.reg.Snapshot())
+		return
+	}
+	body := obs.JSONMap(rt.reg.Snapshot())
+	legacy, err := json.Marshal(rt.Snapshot())
+	if err == nil {
+		var m map[string]any
+		if json.Unmarshal(legacy, &m) == nil {
+			for k, v := range m {
+				body[k] = v
+			}
+		}
+	}
+	writeJSON(w, body)
 }
 
 // handleDrainBackend drains one backend and marks it unroutable

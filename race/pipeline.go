@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // DefaultBatchSize is the pipeline batch size WithBatchSize(0) resolves
@@ -167,6 +169,7 @@ func (r *spscRing) close() {
 // the ring feeding them.
 type pworker struct {
 	ring *spscRing
+	idx  int   // worker/shard index, stable for metrics labelling
 	dets []int // indices into Engine.dets, in fan-out order
 	done chan struct{}
 }
@@ -237,7 +240,7 @@ func (e *Engine) startPipeline(n, batchSize int) {
 		}()
 	}
 	for w := 0; w < n; w++ {
-		pw := &pworker{ring: newRing(ringCapacity), done: make(chan struct{})}
+		pw := &pworker{ring: newRing(ringCapacity), idx: w, done: make(chan struct{})}
 		for di := w; di < len(e.dets); di += n {
 			pw.dets = append(pw.dets, di)
 		}
@@ -266,6 +269,10 @@ func (e *Engine) runWorker(p *pipeline, w *pworker) {
 			w.ring.close()
 		}
 	}()
+	var shardEvents *obs.Counter
+	if e.met != nil {
+		shardEvents = e.met.shardCounter(w.idx)
+	}
 	for {
 		b, ok := w.ring.pop()
 		if !ok {
@@ -278,7 +285,12 @@ func (e *Engine) runWorker(p *pipeline, w *pworker) {
 			}
 			if p.raceCh != nil {
 				e.deliverRaces(d, p.raceCh)
+			} else if e.met != nil {
+				e.countRaces(d)
 			}
+		}
+		if shardEvents != nil {
+			shardEvents.Add(uint64(len(b.evs)))
 		}
 		if b.ack != nil {
 			close(b.ack)
@@ -289,11 +301,22 @@ func (e *Engine) runWorker(p *pipeline, w *pworker) {
 	}
 }
 
+// countRaces advances d's delivery cursor counting new races into the
+// metrics registry, for pipelines with no OnRace drainer installed.
+func (e *Engine) countRaces(d *engineDet) {
+	for n := d.a.Races().RaceCount(); d.seen < n; d.seen++ {
+		e.met.races.Inc()
+	}
+}
+
 // deliverRaces publishes d's newly detected races in detection order,
 // stamped with their per-analysis sequence numbers.
 func (e *Engine) deliverRaces(d *engineDet, sink chan<- RaceInfo) {
 	col := d.a.Races()
 	for n := col.RaceCount(); d.seen < n; d.seen++ {
+		if e.met != nil {
+			e.met.races.Inc()
+		}
 		rc := col.RaceAt(d.seen)
 		sink <- RaceInfo{
 			Analysis: d.entry.Name,
@@ -369,6 +392,17 @@ func (e *Engine) flushBatch() error {
 	// process the same events twice. The engine is poisoned either way.
 	p.cur = newBatch()
 	b.refs.Store(int32(len(p.workers)))
+	if e.met != nil {
+		// Occupancy of the laggiest ring, sampled once per flush: the
+		// producer owns tail and reads head, so both loads are safe here.
+		var occ uint64
+		for _, w := range p.workers {
+			if d := w.ring.tail.Load() - w.ring.head.Load(); d > occ {
+				occ = d
+			}
+		}
+		e.met.ringOcc.Observe(float64(occ))
+	}
 	for _, w := range p.workers {
 		if !w.ring.push(b) {
 			if err := p.firstErr(); err != nil {

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/race"
 )
@@ -419,6 +420,23 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]uint64{"fed": offset})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.Metrics())
+// handleMetrics serves the registry two ways: ?format=prometheus emits
+// the text exposition (v0.0.4); the default JSON body carries every
+// canonical metric (see the README catalog) plus the legacy PR 4 keys
+// as aliases, kept for one release so existing scrapers keep working.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		obs.WriteText(w, s.Registry().Snapshot())
+		return
+	}
+	body := obs.JSONMap(s.Registry().Snapshot())
+	legacy, _ := json.Marshal(s.Metrics())
+	var alias map[string]any
+	if json.Unmarshal(legacy, &alias) == nil {
+		for k, v := range alias {
+			body[k] = v
+		}
+	}
+	writeJSON(w, body)
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -111,7 +110,8 @@ func syncDirPath(dir string) error {
 // before its feeder starts.
 func (sess *Session) persistInit() error {
 	dir := filepath.Join(sess.srv.sessionsRoot(), sess.ID)
-	jlog, err := store.Open(filepath.Join(dir, "journal"), store.Options{})
+	jlog, err := store.Open(filepath.Join(dir, "journal"),
+		store.Options{Metrics: &sess.srv.metrics.store})
 	if err != nil {
 		return fmt.Errorf("server: opening session journal: %w", err)
 	}
@@ -243,7 +243,8 @@ func (s *Server) Recover() (int, error) {
 				// the whole service: skip it, leave its directory
 				// untouched for the operator, and keep recovering the
 				// rest.
-				log.Printf("server: session %s not recovered (left on disk): %v", meta.ID, err)
+				s.cfg.Logger.Warn("session not recovered, left on disk",
+					"session", meta.ID, "err", err)
 				continue
 			}
 			resumed++
@@ -388,7 +389,8 @@ func (s *Server) recoverFinished(dir string, meta sessionMeta) {
 // on the recovering goroutine — the feeder starts only afterwards, so the
 // engine is never touched concurrently.
 func (s *Server) recoverOpen(dir string, meta sessionMeta) error {
-	jlog, err := store.Open(filepath.Join(dir, "journal"), store.Options{})
+	jlog, err := store.Open(filepath.Join(dir, "journal"),
+		store.Options{Metrics: &s.metrics.store})
 	if err != nil {
 		return err
 	}

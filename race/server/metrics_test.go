@@ -1,0 +1,146 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+	"repro/race"
+)
+
+// scrapePipeline extracts the ingest-pipeline counters from one registry
+// snapshot, in snapshot (= registration) order.
+func scrapePipeline(t *testing.T, reg *obs.Registry) (enqueued, journaled, engineFed, analyzed float64) {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "raced_events_enqueued_total":
+			enqueued = s.Value
+		case "raced_events_journaled_total":
+			journaled = s.Value
+		case "raced_engine_events_fed_total":
+			engineFed = s.Value
+		case "raced_events_analyzed_total":
+			analyzed = s.Value
+		}
+	}
+	return
+}
+
+// TestMetricsScrapeConsistency is the /metrics race-window fix's test:
+// scraping the registry mid-ingest must always observe
+// enqueued ≥ journaled ≥ engine-fed ≥ analyzed, because a snapshot reads
+// the counters in registration (downstream-first) order. Before the
+// registry, the JSON snapshot read several atomics non-atomically and
+// could claim more analyzed events than accepted ones.
+func TestMetricsScrapeConsistency(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(Config{Registry: reg, DataDir: t.TempDir(), QueueDepth: 4})
+	defer srv.Close()
+
+	p, _ := workload.ProgramByName("avrora")
+	tr := p.Generate(400000, 1)
+
+	const feeders = 3
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		sess, err := srv.OpenSession(SessionConfig{Analyses: []string{"ST-WDC"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			const run = 64
+			for lo := 0; lo < len(tr.Events); lo += run {
+				hi := min(lo+run, len(tr.Events))
+				batch := append([]race.Event(nil), tr.Events[lo:hi]...)
+				if err := sess.Feed(batch); err != nil {
+					t.Errorf("feed: %v", err)
+					return
+				}
+			}
+			if err := sess.Flush(); err != nil {
+				t.Errorf("flush: %v", err)
+			}
+			if _, err := sess.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}(sess)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	scrapes := 0
+	for {
+		select {
+		case <-done:
+			if scrapes == 0 {
+				t.Fatal("no scrapes ran")
+			}
+			enq, jnl, eng, ana := scrapePipeline(t, reg)
+			want := float64(feeders * len(tr.Events))
+			if enq != want || jnl != want || eng < want || ana != want {
+				t.Fatalf("final counters enq=%v jnl=%v eng=%v ana=%v, want all ≥ %v", enq, jnl, eng, ana, want)
+			}
+			return
+		default:
+			enq, jnl, eng, ana := scrapePipeline(t, reg)
+			if !(enq >= jnl && jnl >= eng && eng >= ana) {
+				t.Fatalf("scrape %d inconsistent: enqueued=%v journaled=%v engine=%v analyzed=%v",
+					scrapes, enq, jnl, eng, ana)
+			}
+			scrapes++
+		}
+	}
+}
+
+// TestMetricsJSONBackCompat: the JSON /metrics body still carries every
+// legacy PR 4 key (aliases for one release) alongside canonical names.
+func TestMetricsJSONBackCompat(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	sess, err := srv.OpenSession(SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workload.ProgramByName("pmd")
+	tr := p.Generate(400000, 2)
+	if err := sess.Feed(append([]race.Event(nil), tr.Events...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := srv.Metrics()
+	if snap.EventsTotal != uint64(len(tr.Events)) {
+		t.Errorf("events_total = %d, want %d", snap.EventsTotal, len(tr.Events))
+	}
+	if snap.SessionsOpened != 1 || snap.ActiveSessions != 1 {
+		t.Errorf("sessions: %+v", snap)
+	}
+
+	var b strings.Builder
+	if err := obs.WriteText(&b, srv.Registry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"raced_events_analyzed_total", "raced_events_enqueued_total",
+		"raced_sessions_active", "raced_ingest_queue_depth_bucket",
+		"raced_flush_ack_seconds_count", "raced_engine_events_fed_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	if _, err := obs.ParseText(strings.NewReader(out)); err != nil {
+		t.Errorf("server exposition does not parse: %v", err)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

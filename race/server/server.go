@@ -25,13 +25,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/race"
 )
@@ -72,6 +73,14 @@ type Config struct {
 	// rebuilds open sessions from their journals (Recover) — see
 	// journal.go. Empty keeps sessions purely in memory.
 	DataDir string
+	// Registry receives the server's metrics (see the canonical catalog
+	// in the repository README). Nil creates a private registry,
+	// reachable through Server.Registry. A registry must not be shared
+	// by two Servers — metric names would collide.
+	Registry *obs.Registry
+	// Logger receives the server's structured logs. Nil uses
+	// slog.Default().
+	Logger *slog.Logger
 
 	// now and newSink are test seams.
 	now     func() time.Time
@@ -132,19 +141,79 @@ type Server struct {
 	metrics metrics
 }
 
-// metrics are the expvar-style counters /metrics serves.
+// metrics is the server's obs-backed instrumentation. Counter
+// registration ORDER is load-bearing: the ingest pipeline increments
+// enqueued → journaled → engine-fed → analyzed per batch, and
+// Registry.Snapshot reads metrics in registration order, so registering
+// the downstream counters first makes every scrape observe
+// enqueued ≥ journaled ≥ engine-fed ≥ analyzed — an internally
+// consistent view even mid-ingest.
 type metrics struct {
-	start     time.Time
-	events    atomic.Uint64
-	batches   atomic.Uint64
-	races     atomic.Uint64
-	opened    atomic.Uint64
-	closed    atomic.Uint64
-	evicted   atomic.Uint64
-	rejected  atomic.Uint64
-	failed    atomic.Uint64
-	suspended atomic.Uint64 // single-session suspends (migration sources)
-	imported  atomic.Uint64 // single-session recoveries (migration targets)
+	start time.Time
+
+	// Ingest pipeline, registered downstream-first (see above).
+	analyzed  *obs.Counter        // raced_events_analyzed_total (legacy events_total)
+	eng       *race.EngineMetrics // raced_engine_* (shared by every session's engine)
+	journaled *obs.Counter        // raced_events_journaled_total
+	enqueued  *obs.Counter        // raced_events_enqueued_total
+
+	batches   *obs.Counter
+	races     *obs.Counter
+	opened    *obs.Counter
+	closed    *obs.Counter
+	evicted   *obs.Counter
+	rejected  *obs.Counter
+	failed    *obs.Counter
+	suspended *obs.Counter // single-session suspends (migration sources)
+	imported  *obs.Counter // single-session recoveries (migration targets)
+
+	queueDepth    *obs.Histogram // sampled at each Feed
+	flushAck      *obs.Histogram // Flush enqueue → barrier ack
+	journalAppend *obs.Histogram // write-ahead AppendBatch wall time
+
+	store store.Metrics // rotation / recovery / fsync timings
+}
+
+// init registers the server metric catalog. s is only captured by the
+// gauge closures, which run at snapshot time.
+func (m *metrics) init(reg *obs.Registry, s *Server) {
+	m.analyzed = reg.Counter("raced_events_analyzed_total",
+		"Events fully applied to their session's analyses (legacy events_total).")
+	m.eng = race.NewEngineMetrics(reg, "raced_engine")
+	m.journaled = reg.Counter("raced_events_journaled_total",
+		"Events committed past the write-ahead journal stage (a no-op pass-through on memory-only servers).")
+	m.enqueued = reg.Counter("raced_events_enqueued_total",
+		"Events accepted into session ingest queues.")
+
+	m.batches = reg.Counter("raced_batches_total", "Event batches analyzed.")
+	m.races = reg.Counter("raced_races_total", "Races reported online across all sessions.")
+	m.opened = reg.Counter("raced_sessions_opened_total", "Sessions admitted.")
+	m.closed = reg.Counter("raced_sessions_closed_total", "Sessions closed (including aborts; excluding evictions).")
+	m.evicted = reg.Counter("raced_sessions_evicted_total", "Sessions evicted after the idle timeout.")
+	m.rejected = reg.Counter("raced_sessions_rejected_total", "Session opens rejected (admission control, bad config, id conflicts).")
+	m.failed = reg.Counter("raced_sessions_failed_total", "Sessions terminated by an ingestion or analysis error.")
+	m.suspended = reg.Counter("raced_sessions_suspended_total", "Single-session suspends (migration sources).")
+	m.imported = reg.Counter("raced_sessions_imported_total", "Single-session recoveries (migration targets).")
+
+	reg.GaugeFunc("raced_sessions_active", "Live sessions.",
+		func() float64 { return float64(s.ActiveSessions()) })
+	reg.GaugeFunc("raced_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return s.cfg.now().Sub(m.start).Seconds() })
+
+	m.queueDepth = reg.Histogram("raced_ingest_queue_depth",
+		"Session ingest-queue occupancy sampled at each accepted batch.", obs.DepthBuckets())
+	m.flushAck = reg.Histogram("raced_flush_ack_seconds",
+		"Flush-barrier latency: enqueue to ack (journal fsync + engine sync behind queued work).", obs.LatencyBuckets())
+	m.journalAppend = reg.Histogram("raced_journal_append_seconds",
+		"Write-ahead journal AppendBatch wall time.", obs.LatencyBuckets())
+	m.store = store.Metrics{
+		RotationSeconds: reg.Histogram("raced_store_rotation_seconds",
+			"Journal segment rotation (seal + fsync + next-segment start).", obs.LatencyBuckets()),
+		RecoverySeconds: reg.Histogram("raced_store_recovery_seconds",
+			"Journal recovery scan at open (CRC verify + torn-tail truncate).", obs.LatencyBuckets()),
+		SyncSeconds: reg.Histogram("raced_journal_fsync_seconds",
+			"Journal Sync (flush + fsync) inside flush barriers.", obs.LatencyBuckets()),
+	}
 }
 
 // MetricsSnapshot is one reading of the server's counters.
@@ -185,11 +254,11 @@ func New(cfg Config) *Server {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	if cfg.newSink == nil {
-		dataDir := cfg.DataDir
-		cfg.newSink = func(sc SessionConfig, onRace func(race.RaceInfo)) (engineSink, error) {
-			return newEngineSink(sc, onRace, dataDir)
-		}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -198,6 +267,14 @@ func New(cfg Config) *Server {
 		finished:   make(map[string]*Session),
 	}
 	s.metrics.start = cfg.now()
+	s.metrics.init(cfg.Registry, s)
+	if s.cfg.newSink == nil {
+		dataDir := cfg.DataDir
+		engMet := s.metrics.eng
+		s.cfg.newSink = func(sc SessionConfig, onRace func(race.RaceInfo)) (engineSink, error) {
+			return newEngineSink(sc, onRace, dataDir, engMet)
+		}
+	}
 	if cfg.IdleTimeout > 0 {
 		s.stopJanitor = make(chan struct{})
 		s.janitorDone = make(chan struct{})
@@ -240,8 +317,12 @@ func clampHints(h race.CapacityHints) race.CapacityHints {
 // whole stream in RAM a second time would defeat the larger-than-memory
 // story — past the default threshold its retention moves to a scratch
 // racelog under <dataDir>/spill (removed at engine Close/Abort).
-func newEngineSink(cfg SessionConfig, onRace func(race.RaceInfo), dataDir string) (engineSink, error) {
-	opts := []race.Option{race.WithCapacityHints(clampHints(cfg.Hints)), race.WithOnRace(onRace)}
+func newEngineSink(cfg SessionConfig, onRace func(race.RaceInfo), dataDir string, met *race.EngineMetrics) (engineSink, error) {
+	opts := []race.Option{
+		race.WithCapacityHints(clampHints(cfg.Hints)),
+		race.WithOnRace(onRace),
+		race.WithMetrics(met),
+	}
 	if len(cfg.Analyses) > 0 {
 		opts = append(opts, race.WithAnalysisNames(cfg.Analyses...))
 	}
@@ -544,10 +625,17 @@ func (s *Server) SuspendSession(id string) (uint64, error) {
 	return sess.Fed(), nil
 }
 
-// Metrics returns a snapshot of the server's counters.
+// Registry returns the server's metrics registry — the full catalog a
+// Prometheus scrape or a racemon collector reads.
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// Metrics returns a snapshot of the server's counters in the legacy
+// (PR 4) JSON shape. The events_total read happens first — it is the
+// downstream end of the ingest pipeline — so the snapshot can never
+// claim more analyzed events than accepted ones.
 func (s *Server) Metrics() MetricsSnapshot {
 	up := s.cfg.now().Sub(s.metrics.start).Seconds()
-	events := s.metrics.events.Load()
+	events := s.metrics.analyzed.Value()
 	s.mu.Lock()
 	live := make([]*Session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
@@ -561,16 +649,16 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		ActiveSessions:    s.ActiveSessions(),
 		SessionEvents:     perSession,
-		SessionsOpened:    s.metrics.opened.Load(),
-		SessionsClosed:    s.metrics.closed.Load(),
-		SessionsEvicted:   s.metrics.evicted.Load(),
-		SessionsRejected:  s.metrics.rejected.Load(),
-		SessionsFailed:    s.metrics.failed.Load(),
-		SessionsSuspended: s.metrics.suspended.Load(),
-		SessionsImported:  s.metrics.imported.Load(),
+		SessionsOpened:    s.metrics.opened.Value(),
+		SessionsClosed:    s.metrics.closed.Value(),
+		SessionsEvicted:   s.metrics.evicted.Value(),
+		SessionsRejected:  s.metrics.rejected.Value(),
+		SessionsFailed:    s.metrics.failed.Value(),
+		SessionsSuspended: s.metrics.suspended.Value(),
+		SessionsImported:  s.metrics.imported.Value(),
 		EventsTotal:       events,
-		BatchesTotal:      s.metrics.batches.Load(),
-		RacesTotal:        s.metrics.races.Load(),
+		BatchesTotal:      s.metrics.batches.Value(),
+		RacesTotal:        s.metrics.races.Value(),
 		UptimeSeconds:     up,
 	}
 	if up > 0 {
@@ -767,20 +855,24 @@ func (sess *Session) run(sink engineSink) {
 		// crash can lose unjournaled analysis work but never journal an
 		// event the engine might not have seen on replay.
 		if sess.jlog != nil {
-			if err := sess.jlog.AppendBatch(item.events); err != nil {
+			t0 := time.Now()
+			err := sess.jlog.AppendBatch(item.events)
+			sess.srv.metrics.journalAppend.ObserveDuration(time.Since(t0))
+			if err != nil {
 				if sess.fail(fmt.Errorf("server: journaling batch: %w", err)) {
 					sess.srv.metrics.failed.Add(1)
 				}
 				continue
 			}
 		}
+		sess.srv.metrics.journaled.Add(uint64(len(item.events)))
 		if err := feedSafe(sink, item.events); err != nil {
 			if sess.fail(err) {
 				sess.srv.metrics.failed.Add(1)
 			}
 			continue
 		}
-		sess.srv.metrics.events.Add(uint64(len(item.events)))
+		sess.srv.metrics.analyzed.Add(uint64(len(item.events)))
 		sess.srv.metrics.batches.Add(1)
 		sess.mu.Lock()
 		sess.fed += uint64(len(item.events))
@@ -958,6 +1050,12 @@ func (sess *Session) Feed(events []race.Event) error {
 		return err
 	}
 	sess.touch()
+	// Counter before send: once the batch is in the channel the feeder
+	// may journal and analyze it at any moment, and the pipeline
+	// invariant (enqueued ≥ journaled ≥ analyzed) must hold under any
+	// interleaving with a scrape.
+	sess.srv.metrics.enqueued.Add(uint64(len(events)))
+	sess.srv.metrics.queueDepth.Observe(float64(len(sess.work)))
 	sess.work <- workItem{events: events}
 	sess.mu.Lock()
 	sess.enqueued += uint64(len(events))
@@ -1012,10 +1110,13 @@ func (sess *Session) Flush() error {
 		return sess.closedErr()
 	}
 	sess.touch()
+	t0 := time.Now()
 	ack := make(chan error, 1)
 	sess.work <- workItem{ack: ack}
 	sess.ingestMu.Unlock()
-	return <-ack
+	err := <-ack
+	sess.srv.metrics.flushAck.ObserveDuration(time.Since(t0))
+	return err
 }
 
 // Close ends the stream: pending batches drain, the engine closes, and the

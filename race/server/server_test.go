@@ -164,7 +164,7 @@ func poisonedFactory(cfg SessionConfig, onRace func(race.RaceInfo)) (engineSink,
 	if len(cfg.Analyses) == 1 && cfg.Analyses[0] == "PANIC" {
 		return &panicSink{after: 1}, nil
 	}
-	return newEngineSink(cfg, onRace, "")
+	return newEngineSink(cfg, onRace, "", nil)
 }
 
 func TestPanicIsolation(t *testing.T) {

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"syscall"
 	"time"
@@ -55,7 +54,8 @@ func (s *Server) ServeTCP(lis net.Listener) error {
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() || isTemporaryAcceptError(err) {
-				log.Printf("server: accept: %v (retrying in %v)", err, delay)
+				s.cfg.Logger.Warn("accept failed, retrying",
+					"err", err, "delay", delay)
 				time.Sleep(delay)
 				if delay *= 2; delay > time.Second {
 					delay = time.Second
@@ -83,7 +83,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if r := recover(); r != nil {
 			// Connection handling must never crash the server — but a
 			// panic here is a server-side protocol bug, so leave a trace.
-			log.Printf("server: connection handler panic from %v: %v", conn.RemoteAddr(), r)
+			s.cfg.Logger.Error("connection handler panic",
+				"remote", conn.RemoteAddr(), "panic", r)
 		}
 	}()
 	br := bufio.NewReaderSize(conn, 1<<16)
