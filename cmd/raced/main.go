@@ -63,6 +63,7 @@ func main() {
 		queue     = flag.Int("queue", 32, "per-session pending-batch queue depth")
 		idle      = flag.Duration("idle", 5*time.Minute, "idle-session eviction timeout (negative disables)")
 		dataDir   = flag.String("data-dir", "", "durable-session directory: journal every session to a racelog and resume open sessions on restart (empty keeps sessions in memory)")
+		ioTimeout = flag.Duration("io-timeout", 0, "cut wire connections making no read or write progress for this long (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "net/http/pprof listen address (empty disables)")
 		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	)
@@ -81,6 +82,7 @@ func main() {
 		QueueDepth:  *queue,
 		IdleTimeout: *idle,
 		DataDir:     *dataDir,
+		IOTimeout:   *ioTimeout,
 		Logger:      logger,
 	})
 	if *dataDir != "" {

@@ -71,6 +71,9 @@ func main() {
 		vnodes    = flag.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per backend on the hash ring")
 		interval  = flag.Duration("probe-interval", fleet.DefaultProbeInterval, "health-probe interval")
 		threshold = flag.Int("probe-threshold", fleet.DefaultProbeThreshold, "consecutive probe failures before a backend is down")
+		ioTimeout = flag.Duration("io-timeout", 0, "cut client wire connections making no read or write progress for this long (0 disables)")
+		brkThresh = flag.Int("breaker-threshold", fleet.DefaultBreakerThreshold, "consecutive unreachable failures before a backend's circuit opens")
+		brkCool   = flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "open-circuit cooldown before a half-open trial")
 		debugAddr = flag.String("debug-addr", "", "net/http/pprof listen address (empty disables)")
 		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	)
@@ -106,10 +109,13 @@ func main() {
 	}
 
 	rt, err := fleet.New(backends, fleet.Options{
-		VNodes:         *vnodes,
-		ProbeInterval:  *interval,
-		ProbeThreshold: *threshold,
-		Logger:         logger,
+		VNodes:           *vnodes,
+		ProbeInterval:    *interval,
+		ProbeThreshold:   *threshold,
+		IOTimeout:        *ioTimeout,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
+		Logger:           logger,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// GatePlan configures a Gate: an alternating up/down schedule used to
+// flap a fleet backend or carve a partial partition between a router and
+// one backend. Window lengths are drawn deterministically from the seed:
+// window i lasts Mean{Up,Down} scaled by a factor in [0.5, 1.5).
+type GatePlan struct {
+	Seed     uint64
+	MeanUp   time.Duration
+	MeanDown time.Duration
+	// StartDown starts the schedule in a down window.
+	StartDown bool
+}
+
+// Gate evaluates the schedule against a monotonic clock starting at the
+// first Err call. While down, Err returns an injected connection-refused
+// error; while up, nil. Err is cheap enough to consult on every RPC.
+type Gate struct {
+	plan GatePlan
+
+	mu      sync.Mutex
+	rng     *Rand
+	started time.Time
+	edges   []time.Duration // cumulative window end offsets
+	faults  int64
+}
+
+// NewGate returns a gate following plan.
+func NewGate(plan GatePlan) *Gate {
+	return &Gate{plan: plan, rng: NewRand(plan.Seed)}
+}
+
+// Err returns nil while the gate is up, or an injected unreachable error
+// while it is down.
+func (g *Gate) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := time.Now()
+	if g.started.IsZero() {
+		g.started = now
+	}
+	off := now.Sub(g.started)
+	for len(g.edges) == 0 || g.edges[len(g.edges)-1] <= off {
+		g.extendLocked()
+	}
+	// Window index 0 is up unless StartDown.
+	i := 0
+	for g.edges[i] <= off {
+		i++
+	}
+	down := i%2 == 0 == g.plan.StartDown
+	if down {
+		g.faults++
+		return fmt.Errorf("fault: gate: %w: %w", ErrInjected, syscall.ECONNREFUSED)
+	}
+	return nil
+}
+
+// Faults returns how many calls were rejected while down.
+func (g *Gate) Faults() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.faults
+}
+
+func (g *Gate) extendLocked() {
+	i := len(g.edges)
+	mean := g.plan.MeanUp
+	if i%2 == 0 == g.plan.StartDown {
+		mean = g.plan.MeanDown
+	}
+	if mean <= 0 {
+		mean = time.Second
+	}
+	scale := 0.5 + g.rng.Float64()
+	win := time.Duration(float64(mean) * scale)
+	var base time.Duration
+	if i > 0 {
+		base = g.edges[i-1]
+	}
+	g.edges = append(g.edges, base+win)
+}

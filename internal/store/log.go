@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -22,11 +23,12 @@ import (
 type Log struct {
 	dir  string
 	opts Options
+	fsys fault.FS
 
 	mu     sync.Mutex
 	sealed []segMeta
 	active segMeta
-	f      *os.File
+	f      fault.File
 	bw     *bufio.Writer
 	crc    hash.Hash32
 
@@ -48,30 +50,34 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentEvents <= 0 {
 		opts.SegmentEvents = DefaultSegmentEvents
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	metas, dropped, err := recoverDir(dir)
+	metas, dropped, err := recoverDir(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, p := range dropped {
-		if err := os.Remove(p); err != nil {
+		if err := fsys.Remove(p); err != nil {
 			return nil, fmt.Errorf("store: dropping unrecoverable segment: %w", err)
 		}
 	}
-	l := &Log{dir: dir, opts: opts, crc: crc32.NewIEEE()}
+	l := &Log{dir: dir, opts: opts, fsys: fsys, crc: crc32.NewIEEE()}
 
 	// The recovered tail continues as the active segment when it is
 	// unsealed; a sealed (or absent) tail starts a fresh segment.
 	if n := len(metas); n > 0 && !metas[n-1].sealed {
 		tail := metas[n-1]
 		l.sealed = metas[:n-1]
-		if err := os.Truncate(tail.path, tail.size); err != nil {
+		if err := fsys.Truncate(tail.path, tail.size); err != nil {
 			return nil, err
 		}
-		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o666)
+		f, err := fsys.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o666)
 		if err != nil {
 			return nil, err
 		}
@@ -140,8 +146,8 @@ func (c *resumableCRC) Sum(b []byte) []byte {
 // recoverDir scans dir's segment files in order, returning the longest
 // valid prefix of segments plus the paths of files recovery must drop
 // (mis-numbered, unreadable as a continuation, or following a torn tail).
-func recoverDir(dir string) (metas []segMeta, dropped []string, err error) {
-	entries, err := os.ReadDir(dir)
+func recoverDir(fsys fault.FS, dir string) (metas []segMeta, dropped []string, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -161,7 +167,7 @@ func recoverDir(dir string) (metas []segMeta, dropped []string, err error) {
 			dropped = append(dropped, path)
 			continue
 		}
-		m, ok, err := recoverSegment(path, uint32(i), nextOff)
+		m, ok, err := recoverSegment(fsys, path, uint32(i), nextOff)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -185,7 +191,7 @@ func recoverDir(dir string) (metas []segMeta, dropped []string, err error) {
 // startSegment creates and opens a fresh active segment.
 func (l *Log) startSegment(seg uint32, first uint64) error {
 	path := filepath.Join(l.dir, segmentName(seg))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	f, err := l.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
 	if err != nil {
 		return err
 	}
@@ -211,12 +217,7 @@ func (l *Log) syncDir() error {
 	if l.opts.NoSync {
 		return nil
 	}
-	d, err := os.Open(l.dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return l.fsys.SyncDir(l.dir)
 }
 
 // Dir returns the log's directory.
@@ -418,5 +419,5 @@ func (l *Log) ReaderAt(off uint64) (*Reader, error) {
 	for _, m := range metas {
 		s.merge(m.sum)
 	}
-	return newReader(metas, s, off)
+	return newReader(l.fsys, metas, s, off)
 }

@@ -4,8 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -18,13 +18,14 @@ import (
 // A Reader reads a snapshot: the records present when it was created.
 // Concurrent appends to the same log are not observed.
 type Reader struct {
+	fsys  fault.FS
 	segs  []segMeta
 	sum   Summary
 	start uint64 // the offset the reader was opened at
 	from  uint64 // cursor: offset of the next unread event
 
 	cur  int
-	f    *os.File
+	f    fault.File
 	br   *bufio.Reader
 	left uint64 // records remaining in the current segment
 	read uint64
@@ -42,11 +43,24 @@ type Reader struct {
 // disturbing the evidence).
 func OpenRead(dir string) (*Reader, error) { return OpenReadAt(dir, 0) }
 
+// OpenReadFS is OpenRead over an explicit filesystem (fault injection and
+// crash-simulation harnesses; nil means the real one).
+func OpenReadFS(fsys fault.FS, dir string, off uint64) (*Reader, error) {
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	return openReadAt(fsys, dir, off)
+}
+
 // OpenReadAt is OpenRead positioned at event offset off: the fixed-width
 // records make the seek arithmetic, so skipping an already-consumed
 // prefix (a resumed client re-reading its own journal) costs no decoding.
 func OpenReadAt(dir string, off uint64) (*Reader, error) {
-	metas, _, err := recoverDir(dir)
+	return openReadAt(fault.OS{}, dir, off)
+}
+
+func openReadAt(fsys fault.FS, dir string, off uint64) (*Reader, error) {
+	metas, _, err := recoverDir(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -57,11 +71,11 @@ func OpenReadAt(dir string, off uint64) (*Reader, error) {
 	for _, m := range metas {
 		s.merge(m.sum)
 	}
-	return newReader(metas, s, off)
+	return newReader(fsys, metas, s, off)
 }
 
 // newReader positions a reader over metas starting at event offset from.
-func newReader(metas []segMeta, sum Summary, from uint64) (*Reader, error) {
+func newReader(fsys fault.FS, metas []segMeta, sum Summary, from uint64) (*Reader, error) {
 	total := uint64(0)
 	if n := len(metas); n > 0 {
 		total = metas[n-1].last()
@@ -69,7 +83,7 @@ func newReader(metas []segMeta, sum Summary, from uint64) (*Reader, error) {
 	if from > total {
 		from = total
 	}
-	r := &Reader{segs: metas, sum: sum, start: from, from: from}
+	r := &Reader{fsys: fsys, segs: metas, sum: sum, start: from, from: from}
 	// Locate the starting segment: the last one whose first offset is
 	// ≤ from. Within a segment the offset → position map is arithmetic
 	// over the fixed-width records (cross-checked against the sparse
@@ -97,7 +111,7 @@ func (r *Reader) Header() (trace.Header, error) {
 // open positions the file cursor at the current segment's starting record.
 func (r *Reader) open() error {
 	m := r.segs[r.cur]
-	f, err := os.Open(m.path)
+	f, err := r.fsys.Open(m.path)
 	if err != nil {
 		return err
 	}

@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -221,8 +221,8 @@ func scanRecords(data []byte, m *segMeta) {
 
 // recoverSegment reads one segment file and decodes it. I/O failures are
 // errors; corruption is recovered per decodeSegment.
-func recoverSegment(path string, wantSeg uint32, wantFirst uint64) (segMeta, bool, error) {
-	data, err := os.ReadFile(path)
+func recoverSegment(fsys fault.FS, path string, wantSeg uint32, wantFirst uint64) (segMeta, bool, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return segMeta{}, false, err
 	}
@@ -234,7 +234,7 @@ func recoverSegment(path string, wantSeg uint32, wantFirst uint64) (segMeta, boo
 // writeSealedFrom seals an unsealed-but-valid segment image in place by
 // appending its footer (used when recovery needs to seal a recovered tail
 // before continuing in a fresh segment, and by Log.seal at rotation).
-func appendFooterFile(f *os.File, m *segMeta, crcRec uint32) error {
+func appendFooterFile(f fault.File, m *segMeta, crcRec uint32) error {
 	foot := buildFooter(m.count, m.index, m.sum, crcRec)
 	if _, err := f.Write(foot); err != nil {
 		return err

@@ -73,6 +73,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -101,6 +102,11 @@ type Options struct {
 	// rotates: the active segment is sealed and a new one started.
 	// Zero means DefaultSegmentEvents.
 	SegmentEvents int
+	// FS is the filesystem the log runs on. Nil means the real one
+	// (fault.OS). Fault-injection harnesses substitute an instrumented
+	// implementation to exercise short writes, fsync failures, ENOSPC,
+	// and power cuts under the real append/seal/recover code paths.
+	FS fault.FS
 	// NoSync disables fsync on Sync, seal, and rotation. Flushes still
 	// happen, so same-process readers see everything, but crash safety is
 	// reduced to whatever the OS has written back — appropriate for

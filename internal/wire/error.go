@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ErrCode classifies a server-reported failure machine-readably. Codes
+// travel in TError frame payloads (and in the ErrorCodeHeader of HTTP
+// admin responses), so clients, routers, and retry loops classify errors
+// with typed checks instead of matching message substrings.
+type ErrCode string
+
+// The error-code vocabulary. Transient codes (a retry against the same or
+// another backend can succeed) are marked; the rest are terminal for the
+// session.
+const (
+	// CodeUnknownSession: the session id is not open (and, on a durable
+	// server, not on disk). Transient during migration races.
+	CodeUnknownSession ErrCode = "unknown-session"
+	// CodeBusy: the session is attached to another connection.
+	CodeBusy ErrCode = "busy"
+	// CodeSuspended: the session was suspended for migration; resume
+	// elsewhere. Transient.
+	CodeSuspended ErrCode = "suspended"
+	// CodeEvicted: the session was evicted (idle timeout or shutdown).
+	// Transient for durable sessions, which can be resumed.
+	CodeEvicted ErrCode = "evicted"
+	// CodeDraining: the server rejects new sessions. Transient (try
+	// another backend).
+	CodeDraining ErrCode = "draining"
+	// CodeFull: the session table is at capacity. Transient.
+	CodeFull ErrCode = "full"
+	// CodeShutdown: the server is closed.
+	CodeShutdown ErrCode = "shutdown"
+	// CodeClosed: the session already finished.
+	CodeClosed ErrCode = "closed"
+	// CodeIDTaken: the caller-chosen session id is already in use.
+	CodeIDTaken ErrCode = "id-taken"
+	// CodeIO: the session failed on disk I/O (journal append/sync); its
+	// state is sticky-failed and its journal quarantined.
+	CodeIO ErrCode = "io"
+	// CodeCorrupt: a frame failed its checksum.
+	CodeCorrupt ErrCode = "corrupt"
+	// CodeProto: the peer violated the protocol (bad version, bad frame
+	// sequence, undecodable payload).
+	CodeProto ErrCode = "proto"
+	// CodeTimeout: the server cut the connection after an I/O deadline
+	// expired. Transient.
+	CodeTimeout ErrCode = "timeout"
+	// CodeInternal: any other server-side failure (analysis error, panic).
+	CodeInternal ErrCode = "internal"
+)
+
+// ErrorCodeHeader is the HTTP response header carrying an ErrCode on
+// non-2xx admin API responses, the HTTP analogue of a typed TError frame.
+const ErrorCodeHeader = "X-Raced-Error-Code"
+
+// RemoteError is a decoded TError payload: a classification code plus the
+// human-readable message. It is the error type wire clients surface.
+type RemoteError struct {
+	Code ErrCode `json:"code"`
+	Msg  string  `json:"msg"`
+}
+
+func (e *RemoteError) Error() string {
+	if e.Code == "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s [%s]", e.Msg, e.Code)
+}
+
+// EncodeError builds a TError frame payload.
+func EncodeError(code ErrCode, msg string) []byte {
+	b, err := json.Marshal(RemoteError{Code: code, Msg: msg})
+	if err != nil {
+		// Marshaling two strings cannot fail; keep the message on the
+		// wire even if it somehow does.
+		return []byte(msg)
+	}
+	return b
+}
+
+// DecodeError parses a TError payload. Payloads from peers that predate
+// typed codes (or hand-written text) decode as a RemoteError with an
+// empty Code and the raw payload as the message.
+func DecodeError(payload []byte) *RemoteError {
+	var e RemoteError
+	if len(payload) > 0 && payload[0] == '{' && json.Unmarshal(payload, &e) == nil && (e.Code != "" || e.Msg != "") {
+		return &e
+	}
+	return &RemoteError{Msg: string(payload)}
+}

@@ -3,9 +3,17 @@
 // trace, designed so an instrumented program (or a replayed trace file) can
 // stream events to a remote detector fleet over one TCP connection.
 //
-// Every frame is length-prefixed:
+// Every frame is length-prefixed and checksummed:
 //
-//	length u32 LE (payload bytes) | type u8 | payload
+//	length u32 LE (payload bytes) | type u8 | payload | crc u32 LE
+//
+// The trailing CRC-32 (IEEE) covers the type byte and the payload. It is
+// what makes the stack's "byte-identical or loud error" invariant hold on a
+// dirty network: without it a single flipped bit inside an Events payload
+// can decode as a different-but-valid event record and silently change the
+// final report. A checksum mismatch fails ReadFrame with ErrCorruptFrame
+// and both sides treat the connection as dead (clients reconnect and resume
+// from the last acked offset).
 //
 // A connection carries exactly one session:
 //
@@ -43,14 +51,22 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/trace"
 )
 
 // Proto is the wire protocol version carried in the Hello frame.
-const Proto = 1
+// Version 2 added the per-frame CRC trailer and typed error codes.
+const Proto = 2
+
+// ErrCorruptFrame reports a frame whose checksum did not match its bytes.
+// The connection it arrived on is unusable (framing can no longer be
+// trusted); clients reconnect and resume.
+var ErrCorruptFrame = errors.New("wire: corrupt frame (checksum mismatch)")
 
 // Type identifies a frame.
 type Type uint8
@@ -92,7 +108,16 @@ const MaxPayload = 16 << 20
 // carry; senders with bigger runs chunk them across frames.
 const MaxFrameEvents = MaxPayload / trace.RecordSize
 
-const headerSize = 5 // u32 length + u8 type
+const (
+	headerSize  = 5 // u32 length + u8 type
+	trailerSize = 4 // u32 CRC-32 (IEEE) over type byte + payload
+)
+
+// frameCRC computes the trailer checksum for a frame.
+func frameCRC(t Type, payload []byte) uint32 {
+	crc := crc32.ChecksumIEEE([]byte{uint8(t)})
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
 
 // WriteFrame writes one frame. Writers typically wrap w in a bufio.Writer
 // and flush at message boundaries (after Hello, Flush, EOF, and responses).
@@ -111,12 +136,16 @@ func WriteFrame(w io.Writer, t Type, payload []byte) error {
 			return err
 		}
 	}
-	return nil
+	var tail [trailerSize]byte
+	binary.LittleEndian.PutUint32(tail[:], frameCRC(t, payload))
+	_, err := w.Write(tail[:])
+	return err
 }
 
 // ReadFrame reads one frame, returning its type and payload. io.EOF is
 // returned untouched on a clean end between frames; a partial frame is an
-// io.ErrUnexpectedEOF-wrapping error.
+// io.ErrUnexpectedEOF-wrapping error; a checksum mismatch is an
+// ErrCorruptFrame-wrapping error.
 func ReadFrame(r io.Reader) (Type, []byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -136,6 +165,17 @@ func ReadFrame(r io.Reader) (Type, []byte, error) {
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return 0, nil, fmt.Errorf("wire: reading %v payload: %w", t, err)
 		}
+	}
+	var tail [trailerSize]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		if err == io.EOF {
+			// The stream ended mid-frame, not between frames.
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading %v checksum: %w", t, err)
+	}
+	if got, want := binary.LittleEndian.Uint32(tail[:]), frameCRC(t, payload); got != want {
+		return 0, nil, fmt.Errorf("wire: %v frame: %w (crc %08x, want %08x)", t, ErrCorruptFrame, got, want)
 	}
 	return t, payload, nil
 }

@@ -3,14 +3,17 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
 	"strings"
 	"time"
 
+	"repro/internal/wire"
 	"repro/race"
 	"repro/race/server"
 )
@@ -27,6 +30,7 @@ type Remote struct {
 	base     *url.URL
 	hc       *http.Client
 	proxy    *httputil.ReverseProxy
+	wrapConn func(net.Conn) net.Conn
 }
 
 // NewRemote builds a remote backend. httpAddr is a host:port or URL;
@@ -61,9 +65,30 @@ func (b *Remote) DataDir() string { return b.dataDir }
 // TCPAddr returns the backend's wire-protocol address.
 func (b *Remote) TCPAddr() string { return b.tcpAddr }
 
+// SetConnWrapper installs a wrapper applied to every wire connection the
+// backend dials — the router→backend network fault-injection seam
+// (fault.WrapConn). Set it before handing the backend to a Router.
+func (b *Remote) SetConnWrapper(f func(net.Conn) net.Conn) { b.wrapConn = f }
+
+// dial opens a wire-protocol connection to the backend, applying the
+// fault-injection wrapper when one is installed.
+func (b *Remote) dial(ctx context.Context) (*server.Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", b.tcpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: backend %s: dialing: %w", b.name, err)
+	}
+	if b.wrapConn != nil {
+		conn = b.wrapConn(conn)
+	}
+	return server.NewClient(conn), nil
+}
+
 // post issues a bodyless POST to path and decodes a JSON response into out
-// (when non-nil). Non-2xx responses become errors carrying the body text,
-// so server sentinels like "unknown session" stay recognizable.
+// (when non-nil). A non-2xx response becomes a typed error: the backend's
+// X-Raced-Error-Code header (when present) is rebuilt into the matching
+// sentinel chain, so errors.Is classifies identically to the wire path;
+// the body text rides along for humans.
 func (b *Remote) post(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base.JoinPath(path).String(), nil)
 	if err != nil {
@@ -76,7 +101,11 @@ func (b *Remote) post(ctx context.Context, path string, out any) error {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("fleet: backend %s: %s: %s", b.name, resp.Status, strings.TrimSpace(string(body)))
+		msg := fmt.Sprintf("fleet: backend %s: %s: %s", b.name, resp.Status, strings.TrimSpace(string(body)))
+		if code := wire.ErrCode(resp.Header.Get(wire.ErrorCodeHeader)); code != "" {
+			return server.RemoteFault(code, msg)
+		}
+		return errors.New(msg)
 	}
 	if out != nil {
 		return json.Unmarshal(body, out)
@@ -112,7 +141,7 @@ func (b *Remote) Healthz(ctx context.Context) error {
 }
 
 func (b *Remote) Open(ctx context.Context, id string, cfg server.SessionConfig) (Session, error) {
-	c, err := server.DialContext(ctx, b.tcpAddr)
+	c, err := b.dial(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +154,7 @@ func (b *Remote) Open(ctx context.Context, id string, cfg server.SessionConfig) 
 }
 
 func (b *Remote) Resume(ctx context.Context, id string) (Session, uint64, error) {
-	c, err := server.DialContext(ctx, b.tcpAddr)
+	c, err := b.dial(ctx)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -33,10 +33,51 @@ const (
 	DefaultProbeThreshold = 2
 )
 
+// Flap damping: a backend that failed its way down must string together
+// threshold consecutive good probes before it takes traffic again — and a
+// backend that has bounced recently (flapTrips recoveries inside
+// flapWindow) must produce flapPenalty times that, so a flapping backend
+// converges to a stable "down" instead of oscillating sessions on and off
+// the ring.
+const (
+	flapWindow  = time.Minute
+	flapTrips   = 2
+	flapPenalty = 4
+)
+
 // probeRecord is one backend's health as maintained by the monitor.
 type probeRecord struct {
 	state       atomic.Int32
 	consecFails atomic.Int32
+	consecOKs   atomic.Int32 // good probes since going down
+
+	mu         sync.Mutex
+	recoveries []time.Time // down→up transitions inside flapWindow
+}
+
+// noteRecovery records a down→up transition for flap tracking.
+func (rec *probeRecord) noteRecovery(now time.Time) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.recoveries = append(rec.recoveries, now)
+	rec.trimLocked(now)
+}
+
+// flapping reports whether the backend has recovered repeatedly within the
+// damping window.
+func (rec *probeRecord) flapping(now time.Time) bool {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.trimLocked(now)
+	return len(rec.recoveries) >= flapTrips
+}
+
+func (rec *probeRecord) trimLocked(now time.Time) {
+	cut := 0
+	for cut < len(rec.recoveries) && now.Sub(rec.recoveries[cut]) > flapWindow {
+		cut++
+	}
+	rec.recoveries = rec.recoveries[cut:]
 }
 
 // healthMonitor probes every backend's Healthz on a fixed interval. A
@@ -51,6 +92,10 @@ type healthMonitor struct {
 	// outcome (metrics). Synthetic state changes — markDown, admin
 	// drain — do not pass through it.
 	onProbe func(name string, rtt time.Duration, err error)
+
+	// onRecover, when set before start, observes every down→up transition
+	// (the flap metric).
+	onRecover func(name string)
 
 	stop chan struct{}
 	once sync.Once
@@ -108,17 +153,39 @@ func (h *healthMonitor) runProbe(probe func(ctx context.Context, name string) er
 	return err
 }
 
-// observe folds one probe result into the backend's state machine.
+// observe folds one probe result into the backend's state machine. A down
+// backend does not recover on a single good probe: it must earn its way
+// back with consecutive successes (see the flap-damping constants), so a
+// backend bouncing at probe frequency sheds traffic instead of thrashing it.
 func (h *healthMonitor) observe(name string, err error) {
 	rec := h.records[name]
 	switch {
 	case err == nil:
 		rec.consecFails.Store(0)
-		rec.state.Store(stateUp)
+		if rec.state.Load() != stateDown {
+			rec.consecOKs.Store(0)
+			rec.state.Store(stateUp)
+			return
+		}
+		now := time.Now()
+		need := int32(h.threshold)
+		if rec.flapping(now) {
+			need *= flapPenalty
+		}
+		if rec.consecOKs.Add(1) >= need {
+			rec.consecOKs.Store(0)
+			rec.state.Store(stateUp)
+			rec.noteRecovery(now)
+			if h.onRecover != nil {
+				h.onRecover(name)
+			}
+		}
 	case errors.Is(err, ErrBackendDraining):
 		rec.consecFails.Store(0)
+		rec.consecOKs.Store(0)
 		rec.state.Store(stateDraining)
 	default:
+		rec.consecOKs.Store(0)
 		if int(rec.consecFails.Add(1)) >= h.threshold {
 			rec.state.Store(stateDown)
 		}
@@ -148,6 +215,7 @@ func (h *healthMonitor) markDown(name string) {
 	if rec, ok := h.records[name]; ok {
 		rec.state.Store(stateDown)
 		rec.consecFails.Store(int32(h.threshold))
+		rec.consecOKs.Store(0)
 	}
 }
 

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
-	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/wire"
 	"repro/race/server"
 )
 
@@ -122,6 +124,7 @@ func syncDir(dir string) error {
 func (rt *Router) suspendTimed(ctx context.Context, b Backend, id string) (uint64, error) {
 	t0 := time.Now()
 	fed, err := b.Suspend(ctx, id)
+	rt.breakerRecord(b.Name(), err)
 	if err == nil {
 		rt.metrics.migSuspend.ObserveDuration(time.Since(t0))
 	}
@@ -229,27 +232,43 @@ func (rt *Router) MigrateSession(ctx context.Context, id, to string) error {
 }
 
 // isUnreachable classifies an error as "the backend is gone" (connection-
-// level failure or a killed local backend) rather than a session-level
-// rejection.
+// level failure, a killed local backend, or a tripped circuit) rather than
+// a session-level rejection. Classification is purely typed — errors.Is
+// over the sentinels and errnos the transport actually produces — so an
+// injected fault (fault.Conn, fault.Gate) and an organic one route the same.
 func isUnreachable(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, ErrBackendDown) {
+	if errors.Is(err, ErrBackendDown) || errors.Is(err, ErrCircuitOpen) {
 		return true
 	}
-	msg := err.Error()
-	if strings.Contains(msg, "connection refused") || strings.Contains(msg, "connection reset") ||
-		strings.Contains(msg, "broken pipe") || strings.Contains(msg, "no such host") ||
-		strings.Contains(msg, "i/o timeout") || strings.Contains(msg, "EOF") {
+	// Connection-level errnos, surfaced through net.OpError (and url.Error
+	// for HTTP) chains; errors.Is traverses all of them.
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETUNREACH) || errors.Is(err, syscall.ETIMEDOUT) {
 		return true
 	}
-	return false
+	// A peer that vanished mid-frame, a closed socket, or a stall cut by an
+	// I/O deadline.
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // isHandoffError classifies a mid-stream session failure as "the session
 // moved or its backend died" — the client should re-resume — rather than a
-// permanent stream error.
+// permanent stream error. Remote backends carry their sentinels through
+// typed TError frames (and the error-code header), so errors.Is reaches
+// across the wire; RemoteErrorCode covers the codes with no local sentinel.
 func isHandoffError(err error) bool {
 	if err == nil {
 		return false
@@ -258,10 +277,12 @@ func isHandoffError(err error) bool {
 		errors.Is(err, server.ErrEvicted) || errors.Is(err, ErrBackendDown) {
 		return true
 	}
-	if isUnreachable(err) {
+	if errors.Is(err, wire.ErrCorruptFrame) {
 		return true
 	}
-	// Remote backends flatten sentinels into error-frame text.
-	msg := err.Error()
-	return strings.Contains(msg, "suspended") || strings.Contains(msg, "evicted")
+	switch server.RemoteErrorCode(err) {
+	case wire.CodeSuspended, wire.CodeEvicted, wire.CodeTimeout, wire.CodeCorrupt:
+		return true
+	}
+	return isUnreachable(err)
 }

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
-	"strings"
 	"sync"
 	"time"
 
@@ -34,9 +33,13 @@ type Router struct {
 	names    []string // sorted, fixed at construction
 	ring     *ring
 	health   *healthMonitor
+	breakers map[string]*breaker
 	reg      *obs.Registry
 	metrics  *fleetMetrics
 	logger   *slog.Logger
+
+	ioTimeout time.Duration
+	wrapConn  func(net.Conn) net.Conn
 
 	lockMu    sync.Mutex
 	sessLocks map[string]*sync.Mutex
@@ -51,6 +54,25 @@ type Options struct {
 	// (DefaultProbeInterval / DefaultProbeThreshold when zero).
 	ProbeInterval  time.Duration
 	ProbeThreshold int
+
+	// BreakerThreshold and BreakerCooldown govern the per-backend circuit
+	// breakers (DefaultBreakerThreshold / DefaultBreakerCooldown when
+	// zero): after BreakerThreshold consecutive unreachable-class RPC
+	// failures, calls to the backend fail fast with ErrCircuitOpen until a
+	// half-open trial succeeds.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// IOTimeout, when positive, cuts client connections that make no read
+	// or write progress for the duration (the same stall guard raced's
+	// Config.IOTimeout applies on backends).
+	IOTimeout time.Duration
+
+	// WrapConn, when set, wraps every accepted client connection — the
+	// router-side network fault-injection seam (fault.WrapConn). Applied
+	// under the IOTimeout layer, so injected stalls hit the same deadline
+	// an organic stall would.
+	WrapConn func(net.Conn) net.Conn
 
 	// Registry receives the router's fleet_* metrics. Nil creates a
 	// private registry, reachable via Router.Registry. A registry must
@@ -70,9 +92,12 @@ func New(backends []Backend, opts Options) (*Router, error) {
 	}
 	rt := &Router{
 		backends:  make(map[string]Backend, len(backends)),
+		breakers:  make(map[string]*breaker, len(backends)),
 		sessLocks: make(map[string]*sync.Mutex),
 		reg:       opts.Registry,
 		logger:    opts.Logger,
+		ioTimeout: opts.IOTimeout,
+		wrapConn:  opts.WrapConn,
 	}
 	if rt.reg == nil {
 		rt.reg = obs.NewRegistry()
@@ -90,12 +115,18 @@ func New(backends []Backend, opts Options) (*Router, error) {
 		}
 		rt.backends[name] = b
 		rt.names = append(rt.names, name)
+		rt.breakers[name] = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
 	rt.metrics = newFleetMetrics(rt.reg, rt.names)
 	rt.ring = newRing(rt.names, opts.VNodes)
 	rt.health = newHealthMonitor(rt.names, opts.ProbeInterval, opts.ProbeThreshold)
 	rt.metrics.registerBackendUp(rt.reg, rt.names, rt.health)
 	rt.health.onProbe = rt.metrics.probeHook
+	rt.health.onRecover = func(name string) {
+		if c, ok := rt.metrics.recoveries[name]; ok {
+			c.Inc()
+		}
+	}
 	rt.health.start(func(ctx context.Context, name string) error {
 		return rt.backends[name].Healthz(ctx)
 	})
@@ -137,9 +168,28 @@ func NewSessionID() string {
 	return "f" + hex.EncodeToString(b[:])
 }
 
+// isUnknownSession reports whether err says the backend has never heard of
+// the session. Remote backends carry the sentinel through typed TError
+// frames and the error-code header, so errors.Is reaches across the wire;
+// RemoteErrorCode covers peers whose error chain kept only the code.
 func isUnknownSession(err error) bool {
 	return err != nil &&
-		(errors.Is(err, server.ErrUnknown) || strings.Contains(err.Error(), "unknown session"))
+		(errors.Is(err, server.ErrUnknown) || server.RemoteErrorCode(err) == wire.CodeUnknownSession)
+}
+
+// errorCode classifies a router-side error for the TError frame, deferring
+// to the backend's own classification when the chain carries one.
+func errorCode(err error) wire.ErrCode {
+	if code := server.RemoteErrorCode(err); code != "" {
+		return code
+	}
+	switch {
+	case errors.Is(err, ErrBackendDraining):
+		return wire.CodeDraining
+	case errors.Is(err, ErrNoBackends):
+		return wire.CodeFull
+	}
+	return server.ErrorCode(err)
 }
 
 // routeOpen places a fresh session: the id's ring sequence is tried in
@@ -148,11 +198,12 @@ func isUnknownSession(err error) bool {
 func (rt *Router) routeOpen(ctx context.Context, id string, cfg server.SessionConfig) (Session, Backend, error) {
 	var lastErr error
 	for _, name := range rt.ring.sequence(id) {
-		if !rt.health.routable(name) {
+		if !rt.health.routable(name) || !rt.breakerAllow(name) {
 			continue
 		}
 		b := rt.backends[name]
 		sess, err := b.Open(ctx, id, cfg)
+		rt.breakerRecord(name, err)
 		if err == nil {
 			rt.metrics.sessionsRouted[name].Inc()
 			return sess, b, nil
@@ -162,9 +213,8 @@ func (rt *Router) routeOpen(ctx context.Context, id string, cfg server.SessionCo
 			rt.health.markDown(name)
 			continue
 		}
-		msg := err.Error()
 		if errors.Is(err, server.ErrServerFull) || errors.Is(err, server.ErrDraining) ||
-			strings.Contains(msg, "session limit") || strings.Contains(msg, "draining") {
+			errors.Is(err, server.ErrServerClosed) {
 			continue // capacity failover: next arc on the ring
 		}
 		return nil, nil, err
@@ -175,9 +225,14 @@ func (rt *Router) routeOpen(ctx context.Context, id string, cfg server.SessionCo
 	return nil, nil, lastErr
 }
 
-// resumeOn resumes id on one backend, counting it.
+// resumeOn resumes id on one backend, counting it and feeding the
+// backend's circuit breaker.
 func (rt *Router) resumeOn(ctx context.Context, b Backend, id string) (Session, uint64, error) {
+	if !rt.breakerAllow(b.Name()) {
+		return nil, 0, fmt.Errorf("%w: %s", ErrCircuitOpen, b.Name())
+	}
 	sess, fed, err := b.Resume(ctx, id)
+	rt.breakerRecord(b.Name(), err)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -345,11 +400,20 @@ func (rt *Router) serveConn(conn net.Conn) {
 		}
 	}()
 	ctx := context.Background()
-	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriterSize(conn, 1<<16)
+	// Seam order matches raced: the fault injector (if any) wraps the raw
+	// socket, the deadline layer sits on top.
+	wrapped := conn
+	if rt.wrapConn != nil {
+		wrapped = rt.wrapConn(wrapped)
+	}
+	if rt.ioTimeout > 0 {
+		wrapped = server.WithIOTimeout(wrapped, rt.ioTimeout)
+	}
+	br := bufio.NewReaderSize(wrapped, 1<<16)
+	bw := bufio.NewWriterSize(wrapped, 1<<16)
 
 	sendErr := func(err error) {
-		if werr := wire.WriteFrame(bw, wire.TError, []byte(err.Error())); werr == nil {
+		if werr := wire.WriteFrame(bw, wire.TError, wire.EncodeError(errorCode(err), err.Error())); werr == nil {
 			bw.Flush()
 		}
 	}

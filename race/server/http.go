@@ -12,8 +12,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/wire"
 	"repro/race"
 )
 
@@ -65,7 +67,10 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// httpError maps session-manager errors to status codes.
+// httpError maps session-manager errors to status codes. Every response
+// also carries the wire error code in ErrorCodeHeader — the HTTP analogue
+// of a typed TError frame, so the fleet router classifies admin-API
+// failures the same way wire clients classify frames.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
@@ -78,6 +83,7 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrUnknown):
 		code = http.StatusNotFound
 	}
+	w.Header().Set(wire.ErrorCodeHeader, string(ErrorCode(err)))
 	http.Error(w, err.Error(), code)
 }
 
@@ -92,7 +98,7 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *Session
 	return func(w http.ResponseWriter, r *http.Request) {
 		sess, ok := s.Session(r.PathValue("id"))
 		if !ok {
-			http.Error(w, "unknown session", http.StatusNotFound)
+			httpError(w, fmt.Errorf("%w: %s", ErrUnknown, r.PathValue("id")))
 			return
 		}
 		h(w, r, sess)
@@ -108,6 +114,7 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *Session
 func (s *Server) withExclusiveSession(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
 	return s.withSession(func(w http.ResponseWriter, r *http.Request, sess *Session) {
 		if err := sess.attach(); err != nil {
+			w.Header().Set(wire.ErrorCodeHeader, string(ErrorCode(err)))
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
@@ -242,7 +249,7 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, ok := s.Finished(id)
 	if !ok {
-		http.Error(w, "unknown session", http.StatusNotFound)
+		httpError(w, fmt.Errorf("%w: %s", ErrUnknown, id))
 		return
 	}
 	rep, err := sess.Close() // idempotent: returns the recorded outcome
@@ -346,18 +353,27 @@ type healthzStatus struct {
 	// disk stopped accepting writes cannot honor flush-ack durability and
 	// must leave the routable set even though the process is alive.
 	DataDirWritable *bool `json:"data_dir_writable,omitempty"`
+	// Degraded means at least one session has failed on a disk fault since
+	// start (its journal quarantined, its error sticky). Degraded alone
+	// does NOT fail the probe: the fault policy isolates the damage and the
+	// server keeps serving other tenants — a router should keep it routable
+	// unless the data dir itself stopped accepting writes.
+	Degraded            bool   `json:"degraded,omitempty"`
+	QuarantinedSessions uint64 `json:"quarantined_sessions,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := healthzStatus{
-		OK:             true,
-		Draining:       s.Draining(),
-		ActiveSessions: s.ActiveSessions(),
-		MaxSessions:    s.cfg.MaxSessions,
+		OK:                  true,
+		Draining:            s.Draining(),
+		ActiveSessions:      s.ActiveSessions(),
+		MaxSessions:         s.cfg.MaxSessions,
+		Degraded:            s.Degraded(),
+		QuarantinedSessions: s.QuarantinedSessions(),
 	}
 	st.Full = st.ActiveSessions >= st.MaxSessions
 	if s.cfg.DataDir != "" {
-		writable := dataDirWritable(s.cfg.DataDir)
+		writable := dataDirWritable(s.fsys(), s.cfg.DataDir)
 		st.DataDirWritable = &writable
 		if !writable {
 			st.OK = false
@@ -373,18 +389,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, st)
 }
 
-// dataDirWritable probes the data dir with a create+remove round trip.
-func dataDirWritable(dir string) bool {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+// dataDirWritable probes the data dir with a create+remove round trip on
+// the server's filesystem — under fault injection the probe sees the same
+// failing disk the journals do.
+func dataDirWritable(fsys fault.FS, dir string) bool {
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return false
 	}
 	probe := filepath.Join(dir, ".healthz-probe")
-	f, err := os.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	f, err := fsys.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return false
 	}
 	f.Close()
-	return os.Remove(probe) == nil
+	return fsys.Remove(probe) == nil
 }
 
 // handleDrain takes the server out of the admission pool: new sessions are

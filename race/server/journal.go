@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/store"
 	"repro/race"
 )
@@ -65,13 +66,13 @@ func (s *Server) sessionsRoot() string {
 // write to a temp file, fsync it, rename. The fsync-before-rename keeps
 // an OS crash from leaving the rename durable but the contents torn —
 // state transitions (and reports) must never be half-written.
-func writeJSONFile(path string, v any) error {
+func writeJSONFile(fsys fault.FS, path string, v any) error {
 	doc, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return err
 	}
@@ -86,36 +87,26 @@ func writeJSONFile(path string, v any) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
 	// The rename itself lives in the parent directory's entries; without
 	// this fsync a power loss could keep the old file despite the ack.
-	return syncDirPath(filepath.Dir(path))
-}
-
-// syncDirPath fsyncs a directory, making its entries (creations,
-// renames) durable.
-func syncDirPath(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // persistInit creates the session's on-disk identity: directory, journal,
 // and "open" metadata. Called once the session has its server-assigned id,
 // before its feeder starts.
 func (sess *Session) persistInit() error {
+	fsys := sess.srv.fsys()
 	dir := filepath.Join(sess.srv.sessionsRoot(), sess.ID)
 	jlog, err := store.Open(filepath.Join(dir, "journal"),
-		store.Options{Metrics: &sess.srv.metrics.store})
+		store.Options{Metrics: &sess.srv.metrics.store, FS: fsys})
 	if err != nil {
 		return fmt.Errorf("server: opening session journal: %w", err)
 	}
-	if err := writeJSONFile(filepath.Join(dir, "session.json"),
+	if err := writeJSONFile(fsys, filepath.Join(dir, "session.json"),
 		sessionMeta{ID: sess.ID, Config: sess.cfg, State: stateOpen}); err != nil {
 		jlog.Close()
 		return fmt.Errorf("server: writing session metadata: %w", err)
@@ -125,7 +116,7 @@ func (sess *Session) persistInit() error {
 	// data dir, or a power loss could erase the whole session while its
 	// journal's bytes were safely synced.
 	for _, d := range []string{dir, sess.srv.sessionsRoot(), sess.srv.cfg.DataDir} {
-		if err := syncDirPath(d); err != nil {
+		if err := fsys.SyncDir(d); err != nil {
 			jlog.Close()
 			return fmt.Errorf("server: syncing session directories: %w", err)
 		}
@@ -142,8 +133,36 @@ func (sess *Session) discardPersist() {
 		return
 	}
 	sess.jlog.Close()
-	os.RemoveAll(sess.dir)
+	sess.srv.fsys().RemoveAll(sess.dir)
 	sess.jlog, sess.dir = nil, ""
+}
+
+// quarantine moves a disk-faulted session's directory to
+// <DataDir>/quarantine/<id>: out of the sessions root, so a restart can
+// never resurrect a journal whose durability promises were broken, but
+// preserved on disk for the operator. Best-effort — the disk is already
+// misbehaving — with a rename-only fallback path kept as simple as
+// possible. Called from feeder teardown after the journal is closed.
+func (sess *Session) quarantine() {
+	if sess.dir == "" {
+		return
+	}
+	fsys := sess.srv.fsys()
+	qroot := filepath.Join(sess.srv.cfg.DataDir, "quarantine")
+	err := fsys.MkdirAll(qroot, 0o777)
+	if err == nil {
+		err = fsys.Rename(sess.dir, filepath.Join(qroot, sess.ID))
+	}
+	if err != nil {
+		// Could not move it (the disk may be fully wedged): mark the state
+		// aborted if possible so recovery at least refuses to resume it.
+		sess.srv.cfg.Logger.Error("quarantine failed; marking session aborted",
+			"session", sess.ID, "err", err)
+		sess.persistState(stateAborted, sess.Fed())
+	}
+	sess.srv.metrics.quarantined.Add(1)
+	sess.srv.cfg.Logger.Warn("session quarantined after disk fault",
+		"session", sess.ID, "err", sess.Err())
 }
 
 // persistState rewrites session.json with a terminal state. Best-effort:
@@ -152,7 +171,7 @@ func (sess *Session) persistState(state string, events uint64) {
 	if sess.dir == "" {
 		return
 	}
-	_ = writeJSONFile(filepath.Join(sess.dir, "session.json"),
+	_ = writeJSONFile(sess.srv.fsys(), filepath.Join(sess.dir, "session.json"),
 		sessionMeta{ID: sess.ID, Config: sess.cfg, State: state, Events: events})
 }
 
@@ -161,7 +180,7 @@ func (sess *Session) persistState(state string, events uint64) {
 // after, and a "closed" session with a torn report would lose a result
 // its (about-to-be-final) journal could have regenerated.
 func (sess *Session) persistReport(rep *race.Report) error {
-	return writeJSONFile(filepath.Join(sess.dir, "report.json"), rep)
+	return writeJSONFile(sess.srv.fsys(), filepath.Join(sess.dir, "report.json"), rep)
 }
 
 // replayChunk is the batch size journal replay feeds the fresh engine.
@@ -183,7 +202,7 @@ func (s *Server) Recover() (int, error) {
 		return 0, nil
 	}
 	root := s.sessionsRoot()
-	entries, err := os.ReadDir(root)
+	entries, err := s.fsys().ReadDir(root)
 	if os.IsNotExist(err) {
 		return 0, nil
 	}
@@ -229,7 +248,7 @@ func (s *Server) Recover() (int, error) {
 		// reusing it would splice the dead session's leftover journal
 		// into its own stream.
 		s.noteRecoveredID(name)
-		meta, err := readSessionMeta(dir)
+		meta, err := readSessionMeta(s.fsys(), dir)
 		if err != nil {
 			continue // unreadable leftovers never block a restart
 		}
@@ -267,7 +286,7 @@ func (s *Server) RecoverSession(id string) error {
 		return err
 	}
 	dir := filepath.Join(s.sessionsRoot(), id)
-	meta, err := readSessionMeta(dir)
+	meta, err := readSessionMeta(s.fsys(), dir)
 	if err != nil {
 		return err
 	}
@@ -325,8 +344,8 @@ func isAutoID(id string) bool {
 	return true
 }
 
-func readSessionMeta(dir string) (sessionMeta, error) {
-	doc, err := os.ReadFile(filepath.Join(dir, "session.json"))
+func readSessionMeta(fsys fault.FS, dir string) (sessionMeta, error) {
+	doc, err := fsys.ReadFile(filepath.Join(dir, "session.json"))
 	if err != nil {
 		return sessionMeta{}, err
 	}
@@ -368,7 +387,7 @@ func (s *Server) recoverFinished(dir string, meta sessionMeta) {
 		done:    done,
 		fed:     meta.Events,
 	}
-	doc, err := os.ReadFile(filepath.Join(dir, "report.json"))
+	doc, err := s.fsys().ReadFile(filepath.Join(dir, "report.json"))
 	if err == nil {
 		if rep, perr := race.ReportFromJSON(doc); perr == nil {
 			sess.report = rep
@@ -390,7 +409,7 @@ func (s *Server) recoverFinished(dir string, meta sessionMeta) {
 // engine is never touched concurrently.
 func (s *Server) recoverOpen(dir string, meta sessionMeta) error {
 	jlog, err := store.Open(filepath.Join(dir, "journal"),
-		store.Options{Metrics: &s.metrics.store})
+		store.Options{Metrics: &s.metrics.store, FS: s.fsys()})
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/workload"
 	"repro/race"
 )
@@ -382,7 +383,7 @@ func TestEvictedDurableSessionStaysResumable(t *testing.T) {
 	}
 	s1.Close()
 
-	meta, err := readSessionMeta(s1.sessionsRoot() + "/" + id)
+	meta, err := readSessionMeta(fault.OS{}, s1.sessionsRoot()+"/"+id)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,10 +7,10 @@ import (
 	"io"
 	"math/rand"
 	"net"
-	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/wire"
 	"repro/race"
 )
 
@@ -159,25 +159,34 @@ func (s *ReliableSession) ID() string { return s.id }
 func (s *ReliableSession) Acked() uint64 { return s.acked }
 
 // isTransient reports whether err is worth a reconnect: an explicit handoff
-// redirect, connection-level failure, or a server telling us the session was
-// suspended or evicted out from under the connection (graceful shutdown, a
-// fleet migration) — the journal survives those, and resume is the recovery.
-// Other server-side session errors (bad stream, rejected config) are
-// permanent. Suspension and eviction arrive as TError text, not wrapped
-// sentinels, so they are matched on the message.
+// redirect, connection-level failure (including a frame that failed its
+// checksum — the connection is dead but the session resumes), or a server
+// telling us the session was suspended or evicted out from under the
+// connection (graceful shutdown, a fleet migration) — the journal survives
+// those, and resume is the recovery. Other server-side session errors (bad
+// stream, rejected config, a disk-faulted session) are permanent.
+// Server-side conditions arrive as typed TError codes and classify with
+// errors.Is on the wrapped sentinels — no message matching.
 func isTransient(err error) bool {
 	if err == nil {
 		return false
 	}
 	if errors.Is(err, ErrHandoff) || errors.Is(err, net.ErrClosed) ||
-		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, wire.ErrCorruptFrame) {
 		return true
 	}
 	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
 		errors.Is(err, syscall.ECONNREFUSED) {
 		return true
 	}
-	if msg := err.Error(); strings.Contains(msg, "suspended") || strings.Contains(msg, "evicted") {
+	if errors.Is(err, ErrSuspended) || errors.Is(err, ErrEvicted) {
+		return true
+	}
+	switch RemoteErrorCode(err) {
+	case wire.CodeTimeout, wire.CodeCorrupt:
+		// The server cut (or distrusted) the old connection; the session
+		// itself is intact and resumable.
 		return true
 	}
 	var ne net.Error
@@ -253,11 +262,7 @@ func (s *ReliableSession) reconnect() error {
 // a migration is in flight: the source has suspended the session but the
 // target has not recovered it yet.
 func isResumeRacing(err error) bool {
-	if err == nil {
-		return false
-	}
-	msg := err.Error()
-	return strings.Contains(msg, "suspended") || strings.Contains(msg, "unknown session")
+	return errors.Is(err, ErrSuspended) || errors.Is(err, ErrUnknown)
 }
 
 func (s *ReliableSession) fail(err error) error {

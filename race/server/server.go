@@ -26,12 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"os"
+	"net"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/race"
@@ -81,6 +82,22 @@ type Config struct {
 	// Logger receives the server's structured logs. Nil uses
 	// slog.Default().
 	Logger *slog.Logger
+	// FS is the filesystem the server's own persistence (session metadata,
+	// reports, quarantine moves) runs on, and the one handed to each
+	// session's journal racelog. Nil means the real filesystem (fault.OS).
+	// Fault-injection harnesses substitute an instrumented FS to exercise
+	// the disk-fault degradation policy end to end.
+	FS fault.FS
+	// IOTimeout bounds every read and write on a wire connection served by
+	// ServeTCP: each I/O refreshes the deadline, so only a connection that
+	// stalls completely for this long is cut (CodeTimeout). Zero disables
+	// deadlines.
+	IOTimeout time.Duration
+	// WrapConn, when non-nil, wraps every accepted wire connection before
+	// it is served — the network fault-injection seam (fault.WrapConn).
+	// The wrapper sits under the I/O deadline layer, so injected stalls
+	// are subject to IOTimeout like organic ones.
+	WrapConn func(net.Conn) net.Conn
 
 	// now and newSink are test seams.
 	now     func() time.Time
@@ -104,6 +121,12 @@ var (
 	ErrUnknown       = errors.New("server: unknown session")
 	ErrDraining      = errors.New("server: draining, not accepting new sessions")
 	ErrIDTaken       = errors.New("server: session id already in use")
+	// ErrDiskFault marks a session killed by journal I/O (failed append,
+	// fsync, or metadata write): the session's error is sticky, its journal
+	// directory is quarantined, and the server — still healthy for every
+	// other tenant — reports itself degraded on /healthz. Wire clients see
+	// it as CodeIO.
+	ErrDiskFault = errors.New("server: session failed on disk I/O")
 )
 
 // engineSink is the slice of race.EventSink a session drives (plus Abort,
@@ -127,6 +150,7 @@ type Server struct {
 	closed     bool
 	draining   bool // Drain called: no new sessions, existing ones live on
 	recovering bool // Recover in progress: idle eviction is paused
+	degraded   bool // a session hit a disk fault; /healthz reports it
 
 	// finished retains the last maxFinished terminated sessions so their
 	// reports (or terminal errors) stay queryable over the report API
@@ -167,6 +191,15 @@ type metrics struct {
 	suspended *obs.Counter // single-session suspends (migration sources)
 	imported  *obs.Counter // single-session recoveries (migration targets)
 
+	// Fault-path instrumentation. Disk faults split by provenance so a
+	// chaos harness can assert its injected schedule fired without organic
+	// faults muddying the count (and an operator can spot the reverse).
+	ioFaultsInjected *obs.Counter // raced_io_faults_total{source="injected"}
+	ioFaultsOrganic  *obs.Counter // raced_io_faults_total{source="organic"}
+	quarantined      *obs.Counter // raced_sessions_quarantined_total
+	connTimeouts     *obs.Counter // raced_conn_timeouts_total
+	corruptFrames    *obs.Counter // raced_corrupt_frames_total
+
 	queueDepth    *obs.Histogram // sampled at each Feed
 	flushAck      *obs.Histogram // Flush enqueue → barrier ack
 	journalAppend *obs.Histogram // write-ahead AppendBatch wall time
@@ -194,6 +227,17 @@ func (m *metrics) init(reg *obs.Registry, s *Server) {
 	m.failed = reg.Counter("raced_sessions_failed_total", "Sessions terminated by an ingestion or analysis error.")
 	m.suspended = reg.Counter("raced_sessions_suspended_total", "Single-session suspends (migration sources).")
 	m.imported = reg.Counter("raced_sessions_imported_total", "Single-session recoveries (migration targets).")
+
+	m.ioFaultsInjected = reg.Counter("raced_io_faults_total",
+		"Journal/metadata I/O failures attributed to fault injection.", obs.L("source", "injected"))
+	m.ioFaultsOrganic = reg.Counter("raced_io_faults_total",
+		"Journal/metadata I/O failures from the real disk.", obs.L("source", "organic"))
+	m.quarantined = reg.Counter("raced_sessions_quarantined_total",
+		"Sessions whose journal was quarantined after a disk fault.")
+	m.connTimeouts = reg.Counter("raced_conn_timeouts_total",
+		"Wire connections cut by the server-side I/O deadline.")
+	m.corruptFrames = reg.Counter("raced_corrupt_frames_total",
+		"Wire frames rejected by the per-frame checksum.")
 
 	reg.GaugeFunc("raced_sessions_active", "Live sessions.",
 		func() float64 { return float64(s.ActiveSessions()) })
@@ -259,6 +303,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
+	}
+	if cfg.FS == nil {
+		cfg.FS = fault.OS{}
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -468,7 +515,7 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 	// under the same name would make persistInit append this tenant's
 	// stream onto a dead session's leftover journal.
 	if reqID != "" && persist && s.cfg.DataDir != "" {
-		if _, err := os.Stat(filepath.Join(s.sessionsRoot(), reqID)); err == nil {
+		if _, err := s.fsys().Stat(filepath.Join(s.sessionsRoot(), reqID)); err == nil {
 			abortSafe(sink)
 			s.metrics.rejected.Add(1)
 			return nil, fmt.Errorf("%w (on disk): %s", ErrIDTaken, reqID)
@@ -585,6 +632,38 @@ func (s *Server) MaxSessions() int { return s.cfg.MaxSessions }
 
 // DataDir returns the durable-session root ("" for a memory-only server).
 func (s *Server) DataDir() string { return s.cfg.DataDir }
+
+// fsys returns the filesystem persistence runs on (Config.FS, defaulted).
+func (s *Server) fsys() fault.FS { return s.cfg.FS }
+
+// Degraded reports whether any session has hit a disk fault since start.
+// A degraded server keeps serving — the fault policy isolates the failed
+// session — but /healthz surfaces the flag so operators (and chaos
+// harnesses) see that the disk misbehaved.
+func (s *Server) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// QuarantinedSessions returns how many sessions had their journals
+// quarantined after disk faults.
+func (s *Server) QuarantinedSessions() uint64 {
+	return s.metrics.quarantined.Value()
+}
+
+// noteIOFault records one journal/metadata I/O failure, attributing it to
+// the injection harness or the real disk, and marks the server degraded.
+func (s *Server) noteIOFault(err error) {
+	if fault.Injected(err) {
+		s.metrics.ioFaultsInjected.Add(1)
+	} else {
+		s.metrics.ioFaultsOrganic.Add(1)
+	}
+	s.mu.Lock()
+	s.degraded = true
+	s.mu.Unlock()
+}
 
 // Drain stops admitting new sessions while leaving existing ones running —
 // the first half of taking a backend out of a fleet: the router sees the
@@ -836,8 +915,11 @@ func (sess *Session) run(sink engineSink) {
 			// then really means "everything before this point is analyzed
 			// and survives a crash".
 			if sess.Err() == nil && sess.jlog != nil {
-				if err := sess.jlog.Sync(); err != nil && sess.fail(fmt.Errorf("server: syncing journal: %w", err)) {
-					sess.srv.metrics.failed.Add(1)
+				if err := sess.jlog.Sync(); err != nil {
+					if sess.fail(fmt.Errorf("%w: syncing journal: %w", ErrDiskFault, err)) {
+						sess.srv.metrics.failed.Add(1)
+						sess.srv.noteIOFault(err)
+					}
 				}
 			}
 			if sess.Err() == nil {
@@ -859,8 +941,9 @@ func (sess *Session) run(sink engineSink) {
 			err := sess.jlog.AppendBatch(item.events)
 			sess.srv.metrics.journalAppend.ObserveDuration(time.Since(t0))
 			if err != nil {
-				if sess.fail(fmt.Errorf("server: journaling batch: %w", err)) {
+				if sess.fail(fmt.Errorf("%w: journaling batch: %w", ErrDiskFault, err)) {
 					sess.srv.metrics.failed.Add(1)
+					sess.srv.noteIOFault(err)
 				}
 				continue
 			}
@@ -899,6 +982,15 @@ func (sess *Session) run(sink engineSink) {
 				// Idle eviction reclaims the pool slot, not the data: the
 				// journal is intact and sealed, so the session stays
 				// "open" on disk — a restarted server resumes it.
+				return
+			}
+			if errors.Is(sess.Err(), ErrDiskFault) {
+				// The journal can no longer be trusted (a failed append or
+				// sync may have left it short of what the client believes is
+				// acked). Move the whole session directory aside so a restart
+				// never resurrects it as a resumable session, and leave the
+				// bytes for the operator.
+				sess.quarantine()
 				return
 			}
 			sess.persistState(stateAborted, sess.Fed())

@@ -6,11 +6,80 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"syscall"
 	"time"
 
 	"repro/internal/wire"
 )
+
+// errProto marks server-detected protocol violations (bad frame sequence,
+// undecodable payload, version mismatch) so sendErr classifies them as
+// CodeProto rather than CodeInternal.
+var errProto = errors.New("server: protocol violation")
+
+// ErrorCode classifies a server-side error into the wire vocabulary — the
+// typed half of every TError frame. The mapping is what lets clients and
+// routers use errors.Is instead of message matching. The fleet router uses
+// it too, so an error classifies identically no matter which hop encodes it.
+func ErrorCode(err error) wire.ErrCode {
+	switch {
+	case errors.Is(err, ErrUnknown):
+		return wire.CodeUnknownSession
+	case errors.Is(err, ErrBusy):
+		return wire.CodeBusy
+	case errors.Is(err, ErrSuspended):
+		return wire.CodeSuspended
+	case errors.Is(err, ErrEvicted):
+		return wire.CodeEvicted
+	case errors.Is(err, ErrDraining):
+		return wire.CodeDraining
+	case errors.Is(err, ErrServerFull):
+		return wire.CodeFull
+	case errors.Is(err, ErrServerClosed):
+		return wire.CodeShutdown
+	case errors.Is(err, ErrSessionClosed):
+		return wire.CodeClosed
+	case errors.Is(err, ErrIDTaken):
+		return wire.CodeIDTaken
+	case errors.Is(err, ErrDiskFault):
+		return wire.CodeIO
+	case errors.Is(err, wire.ErrCorruptFrame):
+		return wire.CodeCorrupt
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return wire.CodeTimeout
+	case errors.Is(err, errProto):
+		return wire.CodeProto
+	default:
+		return wire.CodeInternal
+	}
+}
+
+// deadlineConn enforces Config.IOTimeout: every Read and Write refreshes
+// the matching deadline, so steady progress — however slow — never trips
+// it, while a connection that stalls completely for the timeout is cut
+// with os.ErrDeadlineExceeded.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	c.Conn.SetReadDeadline(time.Now().Add(c.timeout))
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	c.Conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	return c.Conn.Write(p)
+}
+
+// WithIOTimeout wraps conn so every Read and Write refreshes a deadline of
+// d — the same stall-cutting layer ServeTCP applies under Config.IOTimeout,
+// exported for front ends (the fleet router) that own their own listeners.
+func WithIOTimeout(conn net.Conn, d time.Duration) net.Conn {
+	return &deadlineConn{Conn: conn, timeout: d}
+}
 
 // helloPayload is the JSON body of the wire protocol's Hello frame.
 // Resume names an existing (typically journal-recovered) session to
@@ -87,30 +156,53 @@ func (s *Server) serveConn(conn net.Conn) {
 				"remote", conn.RemoteAddr(), "panic", r)
 		}
 	}()
-	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriterSize(conn, 1<<16)
+	// Seam order matters: the fault injector (if any) wraps the raw socket,
+	// and the deadline layer sits on top, so injected stalls hit the same
+	// timeout an organic stall would.
+	wrapped := conn
+	if s.cfg.WrapConn != nil {
+		wrapped = s.cfg.WrapConn(wrapped)
+	}
+	if s.cfg.IOTimeout > 0 {
+		wrapped = &deadlineConn{Conn: wrapped, timeout: s.cfg.IOTimeout}
+	}
+	br := bufio.NewReaderSize(wrapped, 1<<16)
+	bw := bufio.NewWriterSize(wrapped, 1<<16)
 
 	sendErr := func(err error) {
-		if werr := wire.WriteFrame(bw, wire.TError, []byte(err.Error())); werr == nil {
+		if werr := wire.WriteFrame(bw, wire.TError, wire.EncodeError(ErrorCode(err), err.Error())); werr == nil {
 			bw.Flush()
+		}
+	}
+	// noteReadErr attributes a dead read to the fault counters and, for a
+	// deadline cut, tells the client why (the write side often still works
+	// when only the read stalled).
+	noteReadErr := func(err error) {
+		switch {
+		case errors.Is(err, wire.ErrCorruptFrame):
+			s.metrics.corruptFrames.Add(1)
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			s.metrics.connTimeouts.Add(1)
+			sendErr(err)
 		}
 	}
 
 	t, payload, err := wire.ReadFrame(br)
 	if err != nil {
+		noteReadErr(err)
 		return
 	}
 	if t != wire.THello {
-		sendErr(fmt.Errorf("server: expected hello frame, got %v", t))
+		sendErr(fmt.Errorf("%w: expected hello frame, got %v", errProto, t))
 		return
 	}
 	var hello helloPayload
 	if err := json.Unmarshal(payload, &hello); err != nil {
-		sendErr(fmt.Errorf("server: bad hello payload: %w", err))
+		sendErr(fmt.Errorf("%w: bad hello payload: %v", errProto, err))
 		return
 	}
 	if hello.Proto != wire.Proto {
-		sendErr(fmt.Errorf("server: unsupported protocol version %d (want %d)", hello.Proto, wire.Proto))
+		sendErr(fmt.Errorf("%w: unsupported protocol version %d (want %d)", errProto, hello.Proto, wire.Proto))
 		return
 	}
 	var sess *Session
@@ -174,6 +266,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Client vanished mid-session (including clean EOF without the
 			// EOF frame): free the slot (or, for a durable session, leave
 			// it resumable) rather than waiting for idle eviction.
+			noteReadErr(err)
 			lost(fmt.Errorf("server: connection lost: %w", err))
 			return
 		}
@@ -181,6 +274,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		case wire.TEvents:
 			evs, err := wire.DecodeEvents(payload)
 			if err != nil {
+				err = fmt.Errorf("%w: %v", errProto, err)
 				sess.abort(err)
 				sendErr(err)
 				return
@@ -227,7 +321,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			bw.Flush()
 			return
 		default:
-			err := fmt.Errorf("server: unexpected %v frame mid-session", t)
+			err := fmt.Errorf("%w: unexpected %v frame mid-session", errProto, t)
 			sess.abort(err)
 			sendErr(err)
 			return
