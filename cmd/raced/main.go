@@ -24,10 +24,13 @@
 //	curl -s 'localhost:7117/metrics?format=prometheus'   # text exposition
 //
 // Observability: GET /metrics serves the canonical raced_* metric catalog
-// as JSON (plus the legacy PR 4 keys, kept as aliases for one release) or,
-// with ?format=prometheus, as Prometheus text exposition v0.0.4.
-// -debug-addr starts an optional net/http/pprof listener; -log-level sets
-// the structured-log (log/slog) threshold.
+// (plus go_* runtime self-metrics and raced_build_info) as JSON, or as
+// Prometheus text exposition v0.0.4 with ?format=prometheus or an Accept
+// header asking for text/plain. -debug-addr starts an optional
+// net/http/pprof listener; -log-level sets the structured-log (log/slog)
+// threshold. -trace records spans for every session, flush, and recovery
+// (GET /debug/traces, ?format=chrome for Perfetto); -trace-slow logs any
+// trace slower than a threshold with a per-span breakdown.
 //
 // Streaming clients use the raw-TCP wire protocol (racedetect -remote, or
 // race/server.Dial from instrumented programs).
@@ -52,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/race/server"
 )
 
@@ -66,6 +70,8 @@ func main() {
 		ioTimeout = flag.Duration("io-timeout", 0, "cut wire connections making no read or write progress for this long (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "net/http/pprof listen address (empty disables)")
 		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		trace     = flag.Bool("trace", false, "record spans for every session, flush, and recovery (GET /debug/traces)")
+		traceSlow = flag.Duration("trace-slow", 0, "log any trace whose root span exceeds this duration, with a per-span breakdown (implies -trace)")
 	)
 	flag.Parse()
 	if *httpAddr == "" && *tcpAddr == "" {
@@ -77,6 +83,16 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level).With("component", "raced")
 
+	var tracer *tracing.Tracer
+	if *trace || *traceSlow > 0 {
+		tracer = tracing.New(tracing.Options{
+			Service:       "raced",
+			SlowThreshold: *traceSlow,
+			Logger:        logger,
+		})
+		logger.Info("tracing enabled", "slow_threshold", traceSlow.String())
+	}
+
 	srv := server.New(server.Config{
 		MaxSessions: *maxSess,
 		QueueDepth:  *queue,
@@ -84,7 +100,10 @@ func main() {
 		DataDir:     *dataDir,
 		IOTimeout:   *ioTimeout,
 		Logger:      logger,
+		Tracer:      tracer,
 	})
+	obs.RegisterRuntimeMetrics(srv.Registry())
+	obs.RegisterBuildInfo(srv.Registry(), "raced")
 	if *dataDir != "" {
 		resumed, err := srv.Recover()
 		if err != nil {

@@ -47,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/tracing"
 	"repro/internal/store"
 	"repro/race"
 	"repro/race/server"
@@ -66,6 +67,7 @@ func main() {
 		timeout   = flag.Duration("connect-timeout", 10*time.Second, "with -remote: dial + handshake timeout")
 		retry     = flag.Bool("retry", false, "with -remote: reconnect and resume automatically (exponential backoff) on connection loss or fleet handoff")
 		flushEach = flag.Int("flush-every", 0, "with -remote: force a flush barrier every N events (bounds the -retry replay buffer)")
+		traceOn   = flag.Bool("trace", false, "with -remote: start a distributed trace for the stream and print its id (follow it in /debug/traces on the server or router)")
 	)
 	flag.Parse()
 
@@ -135,11 +137,15 @@ func main() {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		cfg := server.SessionConfig{Analyses: analyses, Vindicate: *vind, Hints: hints}
+		var tracer *tracing.Tracer
+		if *traceOn {
+			tracer = tracing.New(tracing.Options{Service: "racedetect"})
+		}
 		var sess remoteStream
 		var skip uint64
 		var err error
 		if *retry {
-			ropts := []server.ReliableOption{server.WithRetry(server.RetryPolicy{})}
+			ropts := []server.ReliableOption{server.WithRetry(server.RetryPolicy{}), server.WithTracer(tracer)}
 			if *resume != "" {
 				sess, skip, err = server.ResumeReliable(ctx, *remote, *resume, ropts...)
 			} else {
@@ -153,6 +159,7 @@ func main() {
 				fatalf("%v", err)
 			}
 			defer client.Close()
+			client.SetTracer(tracer)
 			var rsess *server.RemoteSession
 			if *resume != "" {
 				rsess, skip, err = client.Resume(ctx, *resume)
@@ -166,6 +173,9 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "racedetect: remote session %s (resume at offset %d)\n", sess.ID(), skip)
+		if sc := sess.TraceContext(); sc.Valid() {
+			fmt.Fprintf(os.Stderr, "racedetect: trace %s\n", sc.TraceID.String())
+		}
 		if logDir != "" && skip > 0 {
 			// Racelog input: fixed-width records make the resume offset a
 			// seek, not a decode-and-discard of the whole acked prefix.
@@ -257,6 +267,7 @@ type remoteStream interface {
 	race.EventSink
 	ID() string
 	Flush() error
+	TraceContext() tracing.SpanContext
 }
 
 // feedSinkFrom drains an event source into an event sink (the remote

@@ -24,11 +24,15 @@
 //	curl -s 'localhost:7119/metrics?format=prometheus'     # text exposition
 //
 // Observability: GET /metrics serves the canonical fleet_* metric catalog
-// as JSON (plus the legacy keys, kept as aliases for one release) or, with
-// ?format=prometheus, as Prometheus text exposition v0.0.4. -debug-addr
-// starts an optional net/http/pprof listener; -log-level sets the
-// structured-log (log/slog) threshold. cmd/racemon scrapes a router and
-// its backends together into fleet-wide load reports.
+// (plus go_* runtime self-metrics and fleet_build_info) as JSON, or as
+// Prometheus text exposition v0.0.4 with ?format=prometheus or an Accept
+// header asking for text/plain. -debug-addr starts an optional
+// net/http/pprof listener; -log-level sets the structured-log (log/slog)
+// threshold. -trace records router spans — session, placement, flush,
+// migration — joined to client and backend spans under one trace ID
+// (GET /debug/traces, ?format=chrome for Perfetto); -trace-slow logs any
+// trace slower than a threshold. cmd/racemon scrapes a router and its
+// backends together into fleet-wide load reports.
 //
 // Migration requires the backend data dirs to be paths the router can read
 // and write (same host or a shared filesystem): the router suspends the
@@ -51,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/race/fleet"
 )
 
@@ -76,6 +81,8 @@ func main() {
 		brkCool   = flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "open-circuit cooldown before a half-open trial")
 		debugAddr = flag.String("debug-addr", "", "net/http/pprof listen address (empty disables)")
 		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		trace     = flag.Bool("trace", false, "record router spans for every session, placement, flush, and migration (GET /debug/traces)")
+		traceSlow = flag.Duration("trace-slow", 0, "log any trace whose root span exceeds this duration, with a per-span breakdown (implies -trace)")
 	)
 	flag.Var(&backendSpecs, "backend", "backend as name,tcpAddr,httpAddr[,dataDir] (repeatable)")
 	flag.Parse()
@@ -108,6 +115,16 @@ func main() {
 		backends = append(backends, b)
 	}
 
+	var tracer *tracing.Tracer
+	if *trace || *traceSlow > 0 {
+		tracer = tracing.New(tracing.Options{
+			Service:       "racefleet",
+			SlowThreshold: *traceSlow,
+			Logger:        logger,
+		})
+		logger.Info("tracing enabled", "slow_threshold", traceSlow.String())
+	}
+
 	rt, err := fleet.New(backends, fleet.Options{
 		VNodes:           *vnodes,
 		ProbeInterval:    *interval,
@@ -116,10 +133,13 @@ func main() {
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCool,
 		Logger:           logger,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
+	obs.RegisterRuntimeMetrics(rt.Registry())
+	obs.RegisterBuildInfo(rt.Registry(), "fleet")
 	defer rt.Close()
 	logger.Info("routing", "backends", strings.Join(rt.Backends(), ", "))
 

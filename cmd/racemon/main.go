@@ -103,11 +103,12 @@ func (t *targetFlag) Set(v string) error {
 func main() {
 	var targets targetFlag
 	var (
-		interval = flag.Duration("interval", 5*time.Second, "polling interval")
-		cycles   = flag.Int("cycles", 0, "number of polling rounds (0 runs until SIGINT/SIGTERM)")
-		out      = flag.String("o", "LOAD_racemon.json", "report output path")
-		check    = flag.String("check", "", "validate an existing report instead of collecting")
-		logLevel = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		interval    = flag.Duration("interval", 5*time.Second, "polling interval")
+		cycles      = flag.Int("cycles", 0, "number of polling rounds (0 runs until SIGINT/SIGTERM)")
+		out         = flag.String("o", "LOAD_racemon.json", "report output path")
+		check       = flag.String("check", "", "validate an existing report instead of collecting")
+		metricsAddr = flag.String("metrics-addr", "", "serve racemon's own /metrics (go_* self-metrics, build info) at this address (empty disables)")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	)
 	flag.Var(&targets, "target", "metrics endpoint as host:port or URL (repeatable)")
 	flag.Parse()
@@ -132,6 +133,17 @@ func main() {
 	for i, t := range targets {
 		urls[i] = normalizeTarget(t)
 	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		obs.RegisterBuildInfo(reg, "racemon")
+		go func() {
+			logger.Info("self-metrics listening", "addr", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, selfMetricsHandler(reg)); err != nil {
+				logger.Warn("self-metrics server failed", "err", err)
+			}
+		}()
+	}
 
 	rep := &Report{
 		Schema:          schemaVersion,
@@ -139,48 +151,28 @@ func main() {
 		Targets:         urls,
 	}
 	client := &http.Client{Timeout: *interval}
+	col := newCollector(rep)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	var (
-		prevTotal   float64
-		prevAt      time.Time
-		totalDelta  float64
-		firstSample time.Time
-	)
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 collect:
 	for i := 0; *cycles == 0 || i < *cycles; i++ {
 		now := time.Now()
-		cyc := Cycle{Targets: make(map[string]TargetSample, len(urls))}
+		samples := make(map[string]TargetSample, len(urls))
 		for _, u := range urls {
 			s, err := scrape(client, u)
 			if err != nil {
 				logger.Warn("scrape failed", "target", u, "err", err)
 				rep.Summary.ScrapeErrors++
-				cyc.Targets[u] = TargetSample{Up: false}
+				samples[u] = TargetSample{Up: false}
 				continue
 			}
-			cyc.Targets[u] = s
-			cyc.Fleet.EventsAnalyzedTotal += s.Counters["raced_events_analyzed_total"]
+			samples[u] = s
 		}
-		if !prevAt.IsZero() {
-			dt := now.Sub(prevAt).Seconds()
-			delta := cyc.Fleet.EventsAnalyzedTotal - prevTotal
-			if dt > 0 && delta >= 0 {
-				cyc.Fleet.EventsPerSecond = delta / dt
-				totalDelta += delta
-				if cyc.Fleet.EventsPerSecond > rep.Summary.PeakEventsPerSecond {
-					rep.Summary.PeakEventsPerSecond = cyc.Fleet.EventsPerSecond
-				}
-			}
-		} else {
-			firstSample = now
-		}
-		prevTotal, prevAt = cyc.Fleet.EventsAnalyzedTotal, now
-		rep.Cycles = append(rep.Cycles, cyc)
+		cyc := col.record(now, samples)
 		logger.Debug("cycle", "n", i, "events_total", cyc.Fleet.EventsAnalyzedTotal,
 			"events_per_second", cyc.Fleet.EventsPerSecond)
 
@@ -195,7 +187,7 @@ collect:
 		}
 	}
 
-	finalize(rep, prevAt.Sub(firstSample).Seconds(), totalDelta)
+	col.finish()
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatalf("%v", err)
@@ -205,6 +197,69 @@ collect:
 	}
 	logger.Info("report written", "path", *out, "cycles", len(rep.Cycles),
 		"sustained_eps", rep.Summary.SustainedEventsPerSecond)
+}
+
+// collector folds successive polling rounds into a report, computing the
+// fleet counter-delta throughput between rounds. Extracted from the polling
+// loop so the delta arithmetic is unit-testable with synthetic samples.
+type collector struct {
+	rep        *Report
+	prevTotal  float64
+	prevAt     time.Time
+	totalDelta float64
+	firstAt    time.Time
+}
+
+func newCollector(rep *Report) *collector { return &collector{rep: rep} }
+
+// record appends one polling round. Throughput is the delta of the summed
+// raced_events_analyzed_total counters over the wall-clock gap since the
+// previous round (zero for the first round — no delta yet); a negative
+// delta (a restarted backend reset its counters) contributes nothing
+// rather than a negative rate.
+func (c *collector) record(now time.Time, samples map[string]TargetSample) Cycle {
+	cyc := Cycle{Targets: samples}
+	for _, s := range samples {
+		cyc.Fleet.EventsAnalyzedTotal += s.Counters["raced_events_analyzed_total"]
+	}
+	if !c.prevAt.IsZero() {
+		dt := now.Sub(c.prevAt).Seconds()
+		delta := cyc.Fleet.EventsAnalyzedTotal - c.prevTotal
+		if dt > 0 && delta >= 0 {
+			cyc.Fleet.EventsPerSecond = delta / dt
+			c.totalDelta += delta
+			if cyc.Fleet.EventsPerSecond > c.rep.Summary.PeakEventsPerSecond {
+				c.rep.Summary.PeakEventsPerSecond = cyc.Fleet.EventsPerSecond
+			}
+		}
+	} else {
+		c.firstAt = now
+	}
+	c.prevTotal, c.prevAt = cyc.Fleet.EventsAnalyzedTotal, now
+	c.rep.Cycles = append(c.rep.Cycles, cyc)
+	return cyc
+}
+
+// finish computes the run summary from the collected cycles.
+func (c *collector) finish() {
+	finalize(c.rep, c.prevAt.Sub(c.firstAt).Seconds(), c.totalDelta)
+}
+
+// selfMetricsHandler serves racemon's own registry at /metrics, honoring
+// the same format selection as raced: Prometheus text under
+// ?format=prometheus or a text/plain Accept header, JSON otherwise.
+func selfMetricsHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" || obs.AcceptsText(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", obs.TextContentType)
+			obs.WriteText(w, reg.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(obs.JSONMap(reg.Snapshot()))
+	})
+	return mux
 }
 
 // normalizeTarget turns host:port into a full metrics URL.

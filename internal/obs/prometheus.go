@@ -12,6 +12,21 @@ import (
 // WriteText (Prometheus text format v0.0.4).
 const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// AcceptsText reports whether an HTTP Accept header asks for the
+// Prometheus text exposition — the content-negotiation alternative to the
+// ?format=prometheus query parameter. Any "text/plain" entry counts
+// (Prometheus sends "text/plain;version=0.0.4"); wildcards deliberately
+// do not, so a browser's "*/*" keeps getting the JSON default.
+func AcceptsText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mediaType) == "text/plain" {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteText encodes a snapshot in the Prometheus text exposition
 // format, version 0.0.4. Samples sharing a family name are emitted
 // contiguously under a single # HELP/# TYPE header, as the format

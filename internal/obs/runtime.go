@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterRuntimeMetrics adds the standard Go process self-metrics to reg,
+// under the canonical client_golang names so existing dashboards and alerts
+// apply unchanged:
+//
+//	go_goroutines                     current goroutine count
+//	go_memstats_heap_alloc_bytes      live heap bytes
+//	go_memstats_gc_cpu_fraction       fraction of CPU spent in GC since start
+//
+// Values are computed at snapshot time (GaugeFunc), so a scrape always sees
+// the current runtime state. ReadMemStats is a stop-the-world of microseconds
+// on modern Go — negligible at scrape cadence, which is why the two memstats
+// series share one read per snapshot rather than caching.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes", "Number of heap bytes allocated and still in use.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("go_memstats_gc_cpu_fraction", "The fraction of this program's available CPU time used by the GC since the program started.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.GCCPUFraction
+		})
+}
+
+// RegisterBuildInfo adds a <name>_build_info gauge with constant value 1
+// whose labels identify the running binary: the Go toolchain version and,
+// when the binary was built inside a version-controlled checkout, the VCS
+// revision (plus a "-dirty" suffix for modified trees). This is the
+// Prometheus convention for joining any other series to a version:
+//
+//	raced_build_info{goversion="go1.24.0",revision="abc123"} 1
+//
+// Missing build metadata (tests, `go run`) degrades to revision="unknown".
+func RegisterBuildInfo(reg *Registry, name string) {
+	goversion := runtime.Version()
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if dirty && revision != "unknown" {
+			revision += "-dirty"
+		}
+	}
+	reg.GaugeFunc(name+"_build_info",
+		"A metric with a constant '1' value labeled by the Go version and VCS revision the binary was built from.",
+		func() float64 { return 1 },
+		Label{Key: "goversion", Value: goversion},
+		Label{Key: "revision", Value: revision})
+}

@@ -1,0 +1,96 @@
+// W3C Trace Context interchange: the traceparent header is how a span
+// context crosses process boundaries — as an HTTP header on the REST API,
+// and as an optional JSON field in the wire protocol's hello and flush
+// payloads (old peers ignore unknown fields, so the protocol version is
+// unchanged).
+package tracing
+
+import (
+	"context"
+	"encoding/hex"
+)
+
+// Header is the canonical HTTP header name for trace context.
+const Header = "traceparent"
+
+// Traceparent renders the context in W3C form:
+// version "00", dash, 32 hex trace-id, dash, 16 hex span-id (the W3C
+// "parent-id"), dash, 2 hex flags. Invalid contexts render as "".
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 bytes.
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], sc.TraceID[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], sc.SpanID[:])
+	buf[52] = '-'
+	hex.Encode(buf[53:55], []byte{sc.Flags})
+	return string(buf[:])
+}
+
+// ParseTraceparent decodes a W3C traceparent value. It accepts any
+// version except the reserved "ff" (per spec, higher versions are parsed
+// as version 00), requires lowercase hex, and rejects the all-zero trace
+// and span IDs. The boolean reports success; failure yields a zero
+// context, which every consumer treats as "no trace context arrived".
+func ParseTraceparent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if !isHexLower(s[:2]) || s[:2] == "ff" {
+		return SpanContext{}, false
+	}
+	// Version 00 must be exactly 55 bytes; future versions may append
+	// "-suffix" fields, which we ignore.
+	if len(s) > 55 && (s[:2] == "00" || s[55] != '-') {
+		return SpanContext{}, false
+	}
+	if !isHexLower(s[3:35]) || !isHexLower(s[36:52]) || !isHexLower(s[53:55]) {
+		return SpanContext{}, false
+	}
+	hex.Decode(sc.TraceID[:], []byte(s[3:35]))
+	hex.Decode(sc.SpanID[:], []byte(s[36:52]))
+	var fl [1]byte
+	hex.Decode(fl[:], []byte(s[53:55]))
+	sc.Flags = fl[0]
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// isHexLower reports whether s is entirely lowercase hex digits, the only
+// alphabet traceparent allows.
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// ctxKey is the private context.Context key for a SpanContext.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc, the in-process propagation path
+// for code that already threads a context.Context (the fleet router's
+// route/migrate internals, HTTP handlers, backend dials).
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context carried by ctx, or a zero
+// (invalid) context when none is.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

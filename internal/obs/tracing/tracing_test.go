@@ -1,0 +1,277 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Options{Service: "test", Seed: 42})
+	sp := tr.Root("op", SpanContext{})
+	sc := sp.Context()
+	hdr := sc.Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") {
+		t.Fatalf("bad traceparent %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) failed", hdr)
+	}
+	if got.TraceID != sc.TraceID || got.SpanID != sc.SpanID || got.Flags != sc.Flags {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",          // too short
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // v00 with suffix
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // zero span id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // non-hex version
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", s)
+		}
+	}
+	// A future version with an appended field parses (ignoring the suffix).
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future"); !ok {
+		t.Errorf("future-version traceparent rejected, want parse")
+	}
+}
+
+func TestSeededIDsDeterministic(t *testing.T) {
+	a := New(Options{Seed: 7})
+	b := New(Options{Seed: 7})
+	sa := a.Root("x", SpanContext{})
+	sb := b.Root("x", SpanContext{})
+	if sa.Context().TraceID != sb.Context().TraceID || sa.Context().SpanID != sb.Context().SpanID {
+		t.Fatalf("same seed, different IDs: %v vs %v", sa.Context(), sb.Context())
+	}
+	c := New(Options{Seed: 8})
+	if c.Root("x", SpanContext{}).Context().TraceID == sa.Context().TraceID {
+		t.Fatalf("different seeds produced the same trace ID")
+	}
+}
+
+func TestParentLinksAndSnapshot(t *testing.T) {
+	tr := New(Options{Service: "svc", Seed: 1})
+	root := tr.Root("root", SpanContext{})
+	child := tr.Child("child", root.Context())
+	grand := tr.Child("grand", child.Context())
+	grand.SetAttr("k", "v")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != root.Context().SpanID {
+		t.Errorf("child parent = %v, want root %v", byName["child"].Parent, root.Context().SpanID)
+	}
+	if byName["grand"].Parent != child.Context().SpanID {
+		t.Errorf("grand parent mismatch")
+	}
+	for _, s := range spans {
+		if s.TraceID != root.Context().TraceID {
+			t.Errorf("span %s trace %v, want %v", s.Name, s.TraceID, root.Context().TraceID)
+		}
+	}
+	if !byName["root"].Root || byName["child"].Root {
+		t.Errorf("root flags wrong: root=%v child=%v", byName["root"].Root, byName["child"].Root)
+	}
+	if len(byName["grand"].Attrs) != 1 || byName["grand"].Attrs[0] != (Attr{"k", "v"}) {
+		t.Errorf("attrs = %+v", byName["grand"].Attrs)
+	}
+	// A root started from a remote context joins the remote trace.
+	remote := child.Context()
+	joined := tr.Root("server-side", remote)
+	if joined.Context().TraceID != remote.TraceID {
+		t.Errorf("remote root did not adopt trace ID")
+	}
+	if joined.data.Parent != remote.SpanID {
+		t.Errorf("remote root did not link remote parent")
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tr := New(Options{RingSize: 8, Seed: 3})
+	for i := 0; i < 100; i++ {
+		tr.Root("s", SpanContext{}).End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("ring retained %d spans, want 8", len(spans))
+	}
+}
+
+func TestDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Root("op", SpanContext{})
+		sp.SetAttr("k", "v")
+		c := tr.Child("child", sp.Context())
+		c.SetError(nil)
+		c.End()
+		sp.End()
+		_ = sp.Context().Traceparent()
+		_ = tr.Snapshot()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer hot path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSlowSpanLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := New(Options{Service: "svc", Seed: 5, SlowThreshold: time.Nanosecond, Logger: logger})
+	root := tr.Root("flush", SpanContext{})
+	child := tr.Child("fsync", root.Context())
+	child.SetAttr("bytes", "4096")
+	child.End()
+	root.End()
+	out := buf.String()
+	if !strings.Contains(out, "slow trace") {
+		t.Fatalf("no slow-trace log line in %q", out)
+	}
+	for _, want := range []string{"flush", "fsync", "bytes=4096", root.Context().TraceID.String()} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log missing %q: %s", want, out)
+		}
+	}
+
+	// Below threshold: nothing logged.
+	buf.Reset()
+	tr2 := New(Options{Service: "svc", Seed: 5, SlowThreshold: time.Hour, Logger: logger})
+	tr2.Root("fast", SpanContext{}).End()
+	if buf.Len() != 0 {
+		t.Fatalf("fast root logged: %s", buf.String())
+	}
+	// Non-root spans never trigger the slow log even when slow.
+	buf.Reset()
+	tr3 := New(Options{Service: "svc", Seed: 5, SlowThreshold: time.Nanosecond, Logger: logger})
+	r3 := tr3.Root("root", SpanContext{})
+	tr3.Child("only-child", r3.Context()).End()
+	if strings.Contains(buf.String(), "only-child") {
+		t.Fatalf("non-root span triggered slow log: %s", buf.String())
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tr := New(Options{Service: "raced", Seed: 9})
+	root := tr.Root("flush", SpanContext{})
+	tr.Child("fsync", root.Context()).End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome output is not JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if _, ok := ev["args"].(map[string]any)["trace"]; !ok {
+				t.Errorf("X event missing trace arg: %v", ev)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 {
+		t.Errorf("got %d complete events, want 2", complete)
+	}
+	if meta == 0 {
+		t.Errorf("no metadata (process/thread name) events")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := New(Options{Service: "raced", Seed: 11})
+	a := tr.Root("a", SpanContext{})
+	a.End()
+	tr.Root("b", SpanContext{}).End()
+
+	// Default JSON listing.
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var got struct {
+		Service string `json:"service"`
+		Spans   []struct {
+			Trace string `json:"trace"`
+			Name  string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if got.Service != "raced" || len(got.Spans) != 2 {
+		t.Fatalf("got service=%q spans=%d, want raced/2", got.Service, len(got.Spans))
+	}
+
+	// Filter by trace ID.
+	rec = httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace="+a.Context().TraceID.String(), nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Name != "a" {
+		t.Fatalf("trace filter returned %+v", got.Spans)
+	}
+
+	// Chrome format parses.
+	rec = httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=chrome", nil))
+	var chrome map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome format not JSON: %v", err)
+	}
+	if _, ok := chrome["traceEvents"]; !ok {
+		t.Fatalf("chrome output missing traceEvents")
+	}
+
+	// Nil tracer: 404.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil tracer handler returned %d, want 404", rec.Code)
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	tr := New(Options{Seed: 13})
+	sp := tr.Root("x", SpanContext{})
+	ctx := ContextWith(t.Context(), sp.Context())
+	if got := FromContext(ctx); got != sp.Context() {
+		t.Fatalf("context round trip: got %+v", got)
+	}
+	if got := FromContext(t.Context()); got.Valid() {
+		t.Fatalf("empty context yielded valid span context")
+	}
+	if ContextWith(t.Context(), SpanContext{}) != t.Context() {
+		t.Fatalf("invalid context should not be stored")
+	}
+}

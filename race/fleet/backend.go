@@ -24,6 +24,7 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/obs/tracing"
 	"repro/race"
 	"repro/race/server"
 )
@@ -86,4 +87,13 @@ type Session interface {
 	Flush() (uint64, error)
 	Close() ([]byte, error)
 	Release()
+}
+
+// flushTraced is the optional Session extension for per-flush trace
+// propagation: SetFlushContext hands the router's flush span (or the
+// client's, passed through) to the backend, parenting the backend's
+// journal-fsync work under it. Sessions without it simply don't thread
+// flush traces — the Session seam stays minimal for other implementations.
+type flushTraced interface {
+	SetFlushContext(sc tracing.SpanContext)
 }

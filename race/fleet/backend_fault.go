@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 
+	"repro/internal/obs/tracing"
 	"repro/race"
 	"repro/race/server"
 )
@@ -97,6 +98,14 @@ func (b *FaultBackend) Proxy(w http.ResponseWriter, r *http.Request) {
 type faultSession struct {
 	Session
 	gate func(op string) error
+}
+
+// SetFlushContext forwards flush trace context to the wrapped session when
+// it participates (interface embedding does not promote optional methods).
+func (s *faultSession) SetFlushContext(sc tracing.SpanContext) {
+	if ft, ok := s.Session.(flushTraced); ok {
+		ft.SetFlushContext(sc)
+	}
 }
 
 func (s *faultSession) Feed(evs []race.Event) error {

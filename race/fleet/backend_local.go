@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"repro/internal/obs/tracing"
 	"repro/race"
 	"repro/race/server"
 )
@@ -55,7 +56,7 @@ func (b *Local) Healthz(context.Context) error {
 	return nil
 }
 
-func (b *Local) Open(_ context.Context, id string, cfg server.SessionConfig) (Session, error) {
+func (b *Local) Open(ctx context.Context, id string, cfg server.SessionConfig) (Session, error) {
 	if err := b.down(); err != nil {
 		return nil, err
 	}
@@ -66,10 +67,13 @@ func (b *Local) Open(_ context.Context, id string, cfg server.SessionConfig) (Se
 	if err := sess.Attach(); err != nil {
 		return nil, err
 	}
+	if sc := tracing.FromContext(ctx); sc.Valid() {
+		sess.SetTraceContext(sc)
+	}
 	return &localSession{b: b, sess: sess}, nil
 }
 
-func (b *Local) Resume(_ context.Context, id string) (Session, uint64, error) {
+func (b *Local) Resume(ctx context.Context, id string) (Session, uint64, error) {
 	if err := b.down(); err != nil {
 		return nil, 0, err
 	}
@@ -84,6 +88,9 @@ func (b *Local) Resume(_ context.Context, id string) (Session, uint64, error) {
 		sess.Detach()
 		return nil, 0, err
 	}
+	if sc := tracing.FromContext(ctx); sc.Valid() {
+		sess.SetTraceContext(sc)
+	}
 	return &localSession{b: b, sess: sess}, sess.Enqueued(), nil
 }
 
@@ -94,11 +101,11 @@ func (b *Local) Suspend(_ context.Context, id string) (uint64, error) {
 	return b.srv.SuspendSession(id)
 }
 
-func (b *Local) RecoverSession(_ context.Context, id string) error {
+func (b *Local) RecoverSession(ctx context.Context, id string) error {
 	if err := b.down(); err != nil {
 		return err
 	}
-	return b.srv.RecoverSession(id)
+	return b.srv.RecoverSessionCtx(ctx, id)
 }
 
 func (b *Local) Drain(context.Context) error {
@@ -126,9 +133,13 @@ func (b *Local) Proxy(w http.ResponseWriter, r *http.Request) {
 
 // localSession drives a *server.Session directly.
 type localSession struct {
-	b    *Local
-	sess *server.Session
+	b       *Local
+	sess    *server.Session
+	flushSC tracing.SpanContext // next Flush's trace parent (SetFlushContext)
 }
+
+// SetFlushContext parents the next Flush's server-side spans under sc.
+func (s *localSession) SetFlushContext(sc tracing.SpanContext) { s.flushSC = sc }
 
 func (s *localSession) Feed(evs []race.Event) error {
 	if err := s.b.down(); err != nil {
@@ -141,7 +152,9 @@ func (s *localSession) Flush() (uint64, error) {
 	if err := s.b.down(); err != nil {
 		return 0, err
 	}
-	if err := s.sess.Flush(); err != nil {
+	sc := s.flushSC
+	s.flushSC = tracing.SpanContext{}
+	if err := s.sess.FlushCtx(sc); err != nil {
 		return 0, err
 	}
 	return s.sess.Fed(), nil

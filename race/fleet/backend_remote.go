@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/tracing"
 	"repro/internal/wire"
 	"repro/race"
 	"repro/race/server"
@@ -93,6 +94,11 @@ func (b *Remote) post(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base.JoinPath(path).String(), nil)
 	if err != nil {
 		return err
+	}
+	// Trace context rides the standard header, so a migration's recover
+	// lands inside the router's migration span on the backend's trace too.
+	if sc := tracing.FromContext(ctx); sc.Valid() {
+		req.Header.Set(tracing.Header, sc.Traceparent())
 	}
 	resp, err := b.hc.Do(req)
 	if err != nil {
@@ -215,6 +221,10 @@ type remoteSession struct {
 	c    *server.Client
 	sess *server.RemoteSession
 }
+
+// SetFlushContext hands the router's flush span to the backend via the
+// next Flush frame's optional trace payload.
+func (s *remoteSession) SetFlushContext(sc tracing.SpanContext) { s.sess.SetFlushContext(sc) }
 
 func (s *remoteSession) Feed(evs []race.Event) error { return s.sess.FeedBatch(evs) }
 

@@ -176,6 +176,32 @@ func TestFleetMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestFleetMetricsAcceptHeader: the router's /metrics honors an Accept
+// header asking for text/plain as the content-negotiation alternative to
+// ?format=prometheus.
+func TestFleetMetricsAcceptHeader(t *testing.T) {
+	rt, _, _ := startFleet(t, 1)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain; version=0.0.4")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Errorf("content type = %q, want %q", ct, obs.TextContentType)
+	}
+	if _, err := obs.ParseText(res.Body); err != nil {
+		t.Errorf("negotiated exposition does not parse: %v", err)
+	}
+}
+
 // snapHistCount reads one histogram's count out of a registry snapshot.
 func snapHistCount(reg *obs.Registry, name string) uint64 {
 	for _, s := range reg.Snapshot() {

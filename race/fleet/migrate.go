@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/tracing"
 	"repro/internal/wire"
 	"repro/race/server"
 )
@@ -122,12 +123,17 @@ func syncDir(dir string) error {
 // suspendTimed suspends id on b, observing the seal latency of successful
 // suspends into the migration-suspend histogram.
 func (rt *Router) suspendTimed(ctx context.Context, b Backend, id string) (uint64, error) {
+	ssp := rt.span(ctx, "fleet.migrate.suspend")
+	ssp.SetAttr("session", id)
+	ssp.SetAttr("backend", b.Name())
 	t0 := time.Now()
 	fed, err := b.Suspend(ctx, id)
 	rt.breakerRecord(b.Name(), err)
 	if err == nil {
 		rt.metrics.migSuspend.ObserveDuration(time.Since(t0))
 	}
+	ssp.SetError(err)
+	ssp.End()
 	return fed, err
 }
 
@@ -136,9 +142,17 @@ func (rt *Router) suspendTimed(ctx context.Context, b Backend, id string) (uint6
 // after the target has recovered the session, so a failure at any step
 // leaves a resumable copy somewhere.
 func (rt *Router) migrate(ctx context.Context, id string, srcDataDir string, dst Backend) error {
+	msp := rt.span(ctx, "fleet.migrate")
+	msp.SetAttr("session", id)
+	msp.SetAttr("target", dst.Name())
+	if msp != nil {
+		ctx = tracing.ContextWith(ctx, msp.Context())
+	}
+	defer msp.End()
 	rt.metrics.migStarted.Inc()
 	err := rt.doMigrate(ctx, id, srcDataDir, dst)
 	if err != nil {
+		msp.SetError(err)
 		rt.metrics.migFailed.Inc()
 		return err
 	}
@@ -151,14 +165,28 @@ func (rt *Router) doMigrate(ctx context.Context, id string, srcDataDir string, d
 		return fmt.Errorf("fleet: migrating %s: both backends need data dirs", id)
 	}
 	if srcDataDir != dst.DataDir() {
+		csp := rt.span(ctx, "fleet.migrate.copy")
+		csp.SetAttr("session", id)
 		t0 := time.Now()
 		if err := copySessionDir(srcDataDir, dst.DataDir(), id); err != nil {
+			csp.SetError(err)
+			csp.End()
 			return err
 		}
+		csp.End()
 		rt.metrics.migCopy.ObserveDuration(time.Since(t0))
 	}
+	rsp := rt.span(ctx, "fleet.migrate.recover")
+	rsp.SetAttr("session", id)
+	rsp.SetAttr("backend", dst.Name())
+	defer rsp.End()
+	rctx := ctx
+	if rsp != nil {
+		rctx = tracing.ContextWith(ctx, rsp.Context())
+	}
 	t1 := time.Now()
-	if err := dst.RecoverSession(ctx, id); err != nil {
+	if err := dst.RecoverSession(rctx, id); err != nil {
+		rsp.SetError(err)
 		// Leave both copies; the source dir is still authoritative.
 		if srcDataDir != dst.DataDir() {
 			os.RemoveAll(sessionDir(dst.DataDir(), id))

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/wire"
 	"repro/race/server"
 )
@@ -37,6 +38,7 @@ type Router struct {
 	reg      *obs.Registry
 	metrics  *fleetMetrics
 	logger   *slog.Logger
+	tracer   *tracing.Tracer
 
 	ioTimeout time.Duration
 	wrapConn  func(net.Conn) net.Conn
@@ -82,6 +84,13 @@ type Options struct {
 	// Logger receives the router's structured logs. Nil uses
 	// slog.Default().
 	Logger *slog.Logger
+
+	// Tracer, when set, records router-side spans (session, placement,
+	// flush, migration) and propagates trace context to backends — a
+	// client-initiated trace ID follows the stream through the router onto
+	// its backend. Nil disables router spans; a client's trace context is
+	// still forwarded to backends untouched.
+	Tracer *tracing.Tracer
 }
 
 // New builds a router over backends and starts health probing. Close stops
@@ -96,6 +105,7 @@ func New(backends []Backend, opts Options) (*Router, error) {
 		sessLocks: make(map[string]*sync.Mutex),
 		reg:       opts.Registry,
 		logger:    opts.Logger,
+		tracer:    opts.Tracer,
 		ioTimeout: opts.IOTimeout,
 		wrapConn:  opts.WrapConn,
 	}
@@ -137,12 +147,25 @@ func New(backends []Backend, opts Options) (*Router, error) {
 // Options.Registry, or the private default).
 func (rt *Router) Registry() *obs.Registry { return rt.reg }
 
+// Tracer exposes the router's tracer (Options.Tracer; nil when tracing is
+// off).
+func (rt *Router) Tracer() *tracing.Tracer { return rt.tracer }
+
 // Close stops health probing. Sessions keep living on their backends.
 func (rt *Router) Close() { rt.health.close() }
 
 // Backends returns the backend names on the ring (sorted order of
 // construction).
 func (rt *Router) Backends() []string { return append([]string(nil), rt.names...) }
+
+// span starts a router-side child span under whatever trace context ctx
+// carries (nil, costing nothing, when tracing is off).
+func (rt *Router) span(ctx context.Context, name string) *tracing.Span {
+	if rt.tracer == nil {
+		return nil
+	}
+	return rt.tracer.Child(name, tracing.FromContext(ctx))
+}
 
 // lockSession serializes routing decisions and migrations per session id.
 func (rt *Router) lockSession(id string) func() {
@@ -196,6 +219,9 @@ func errorCode(err error) wire.ErrCode {
 // order, skipping unroutable backends and failing over past full, draining,
 // or unreachable ones.
 func (rt *Router) routeOpen(ctx context.Context, id string, cfg server.SessionConfig) (Session, Backend, error) {
+	rsp := rt.span(ctx, "fleet.route_open")
+	rsp.SetAttr("session", id)
+	defer rsp.End()
 	var lastErr error
 	for _, name := range rt.ring.sequence(id) {
 		if !rt.health.routable(name) || !rt.breakerAllow(name) {
@@ -206,6 +232,7 @@ func (rt *Router) routeOpen(ctx context.Context, id string, cfg server.SessionCo
 		rt.breakerRecord(name, err)
 		if err == nil {
 			rt.metrics.sessionsRouted[name].Inc()
+			rsp.SetAttr("backend", name)
 			return sess, b, nil
 		}
 		lastErr = err
@@ -257,6 +284,9 @@ func (rt *Router) resumeOn(ctx context.Context, b Backend, id string) (Session, 
 // Steps 2–3 run under the session's router lock so concurrent resumes and
 // admin migrations cannot race the directory move.
 func (rt *Router) routeResume(ctx context.Context, id string) (Session, uint64, Backend, error) {
+	rsp := rt.span(ctx, "fleet.route_resume")
+	rsp.SetAttr("session", id)
+	defer rsp.End()
 	var target Backend
 	var lastErr error
 	for _, name := range rt.ring.sequence(id) {
@@ -355,6 +385,15 @@ type helloPayload struct {
 	Session   server.SessionConfig `json:"session"`
 	SessionID string               `json:"session_id,omitempty"`
 	Resume    string               `json:"resume,omitempty"`
+	// Trace is an optional W3C traceparent from the client (ignored by
+	// peers that predate tracing).
+	Trace string `json:"trace,omitempty"`
+}
+
+// flushPayload is the optional TFlush payload carrying the client's
+// per-flush trace context (old clients send no payload).
+type flushPayload struct {
+	Trace string `json:"trace,omitempty"`
 }
 
 type ackPayload struct {
@@ -442,6 +481,20 @@ func (rt *Router) serveConn(conn net.Conn) {
 		return
 	}
 
+	// Trace context: the router roots a fleet.session span, adopting the
+	// client's trace when the hello carries one; backends see the router
+	// span as their parent (or, with router tracing off, the client's
+	// context untouched).
+	remoteSC, _ := tracing.ParseTraceparent(hello.Trace)
+	connSpan := rt.tracer.Root("fleet.session", remoteSC)
+	connSpan.SetAttr("remote", conn.RemoteAddr().String())
+	defer connSpan.End()
+	if connSpan != nil {
+		ctx = tracing.ContextWith(ctx, connSpan.Context())
+	} else if remoteSC.Valid() {
+		ctx = tracing.ContextWith(ctx, remoteSC)
+	}
+
 	var (
 		sess Session
 		id   string
@@ -449,6 +502,7 @@ func (rt *Router) serveConn(conn net.Conn) {
 	)
 	if hello.Resume != "" {
 		id = hello.Resume
+		connSpan.SetAttr("resume", id)
 		sess, fed, _, err = rt.routeResume(ctx, id)
 	} else {
 		id = hello.SessionID
@@ -458,9 +512,11 @@ func (rt *Router) serveConn(conn net.Conn) {
 		sess, _, err = rt.routeOpen(ctx, id, hello.Session)
 	}
 	if err != nil {
+		connSpan.SetError(err)
 		sendErr(err)
 		return
 	}
+	connSpan.SetAttr("session", id)
 
 	ack, _ := json.Marshal(ackPayload{Session: id, Fed: fed})
 	if err := wire.WriteFrame(bw, wire.TAck, ack); err != nil {
@@ -497,7 +553,32 @@ func (rt *Router) serveConn(conn net.Conn) {
 				return
 			}
 		case wire.TFlush:
+			// Per-flush trace: parent under the client's flush span when the
+			// frame carries one, else the session context; the backend sees
+			// the router's fleet.flush span (or, with router tracing off,
+			// the client's context passed through).
+			parent := tracing.FromContext(ctx)
+			if len(payload) > 0 {
+				var fp flushPayload
+				if json.Unmarshal(payload, &fp) == nil {
+					if fsc, ok := tracing.ParseTraceparent(fp.Trace); ok {
+						parent = fsc
+					}
+				}
+			}
+			var fsp *tracing.Span
+			downstream := parent
+			if rt.tracer != nil {
+				fsp = rt.tracer.Child("fleet.flush", parent)
+				fsp.SetAttr("session", id)
+				downstream = fsp.Context()
+			}
+			if ft, ok := sess.(flushTraced); ok && downstream.Valid() {
+				ft.SetFlushContext(downstream)
+			}
 			n, err := sess.Flush()
+			fsp.SetError(err)
+			fsp.End()
 			if err != nil {
 				if isHandoffError(err) {
 					sess.Release()

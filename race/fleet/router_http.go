@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/race/server"
 )
 
@@ -79,7 +80,35 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("POST /admin/backends/{name}/drain", rt.handleDrainBackend)
 	mux.HandleFunc("POST /admin/sessions/{id}/migrate", rt.handleMigrate)
-	return mux
+	mux.Handle("GET /debug/traces", tracing.Handler(rt.tracer))
+	return rt.traceHTTP(mux)
+}
+
+// traceHTTP roots a span per API request (adopting an incoming traceparent)
+// and rewrites the header on the outgoing request, so proxied calls carry
+// the router span to the backend. Probe and introspection endpoints are
+// exempt — a scraper polling /metrics would drown the ring. No-op without
+// a tracer.
+func (rt *Router) traceHTTP(next http.Handler) http.Handler {
+	if rt.tracer == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics", "/debug/traces":
+			next.ServeHTTP(w, r)
+			return
+		}
+		remote, _ := tracing.ParseTraceparent(r.Header.Get(tracing.Header))
+		sp := rt.tracer.Root("fleet.http "+r.Method+" "+r.URL.Path, remote)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		tp := sp.Context().Traceparent()
+		w.Header().Set(tracing.Header, tp)
+		r.Header.Set(tracing.Header, tp)
+		next.ServeHTTP(w, r.WithContext(tracing.ContextWith(r.Context(), sp.Context())))
+		sp.End()
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -210,11 +239,12 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics serves the registry two ways: Prometheus text exposition
-// under ?format=prometheus, otherwise the canonical-name JSON map with the
-// legacy Metrics document merged over it (legacy keys win, as aliases for
-// one release).
+// under ?format=prometheus or an Accept header asking for text/plain (how
+// Prometheus itself scrapes), otherwise the canonical-name JSON map with
+// the legacy Metrics document merged over it (legacy keys win, as aliases
+// for one release).
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "prometheus" {
+	if r.URL.Query().Get("format") == "prometheus" || obs.AcceptsText(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", obs.TextContentType)
 		obs.WriteText(w, rt.reg.Snapshot())
 		return

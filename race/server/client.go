@@ -9,6 +9,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/obs/tracing"
 	"repro/internal/wire"
 	"repro/race"
 )
@@ -18,10 +19,19 @@ import (
 // Runtime can stream its trace to a remote detector instead of analyzing
 // in-process (race.WithSink).
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	tracer *tracing.Tracer
 }
+
+// SetTracer makes the client record its own spans (session, per-flush,
+// per-shipped-batch) and send their context in hello and flush frames so
+// server-side spans join the same trace. Call before Open/Resume. Without
+// a tracer the client still *propagates* a span context found on the
+// dial/handshake context (the fleet router's hop-through path), it just
+// records no spans of its own.
+func (c *Client) SetTracer(t *tracing.Tracer) { c.tracer = t }
 
 // Dial connects to a raced TCP endpoint. It is DialContext with the
 // background context (no timeout).
@@ -197,6 +207,24 @@ func (c *Client) handshake(ctx context.Context, hello helloPayload) (*RemoteSess
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
+	// Trace context: with a tracer, this connection's spans start here and
+	// the hello carries the session span's context (joining any trace
+	// already on ctx). Without one, a context on ctx is forwarded as-is —
+	// the router's propagate-only path.
+	parent := tracing.FromContext(ctx)
+	span := c.tracer.Root("client.session", parent)
+	if span != nil {
+		hello.Trace = span.Context().Traceparent()
+		defer func() {
+			// A failed handshake ends the span here; a successful one hands
+			// it to the RemoteSession, which ends it at CloseJSON.
+			if span != nil {
+				span.End()
+			}
+		}()
+	} else if parent.Valid() {
+		hello.Trace = parent.Traceparent()
+	}
 	// A cancellation mid-handshake forces the blocked read to fail by
 	// moving the deadline into the past; the deadline is cleared again on
 	// the way out so the streaming phase is unaffected. The ctx deadline
@@ -243,7 +271,10 @@ func (c *Client) handshake(ctx context.Context, hello helloPayload) (*RemoteSess
 	if err := json.Unmarshal(resp, &ack); err != nil {
 		return nil, 0, fmt.Errorf("server: bad ack payload: %w", err)
 	}
-	return &RemoteSession{c: c, id: ack.Session, batchSize: DefaultClientBatch}, ack.Fed, nil
+	sess := &RemoteSession{c: c, id: ack.Session, batchSize: DefaultClientBatch, span: span}
+	span.SetAttr("session", ack.Session)
+	span = nil // ownership moved to the session; see the deferred End
+	return sess, ack.Fed, nil
 }
 
 // ctxError prefers the context's cancellation cause over the I/O error it
@@ -269,7 +300,20 @@ type RemoteSession struct {
 	flushed   uint64 // server-acknowledged offset from the last Flush
 	closed    bool
 	err       error
+	span      *tracing.Span       // session span when the client has a tracer
+	flushSC   tracing.SpanContext // propagate-only context for Flush frames (SetFlushContext)
 }
+
+// TraceContext returns the session span's context — the trace ID whose
+// tree /debug/traces on the server (and any router in between) retains.
+// Zero when the client has no tracer.
+func (s *RemoteSession) TraceContext() tracing.SpanContext { return s.span.Context() }
+
+// SetFlushContext sets a propagate-only span context carried by the next
+// Flush frames. The fleet router uses it to hand each proxied flush's
+// router-side span to the backend; clients with their own tracer do not
+// need it (Flush starts a real span instead).
+func (s *RemoteSession) SetFlushContext(sc tracing.SpanContext) { s.flushSC = sc }
 
 var _ race.EventSink = (*RemoteSession)(nil)
 
@@ -335,15 +379,23 @@ func (s *RemoteSession) FeedBatch(evs []race.Event) error {
 // ship sends the pending batch as Events frames, chunking runs larger
 // than a frame's payload limit across several frames.
 func (s *RemoteSession) ship() error {
+	var ssp *tracing.Span
+	if s.c.tracer != nil && len(s.buf) > 0 {
+		ssp = s.c.tracer.Child("client.ship", s.span.Context())
+		ssp.SetInt("events", int64(len(s.buf)))
+	}
 	for off := 0; off < len(s.buf); off += wire.MaxFrameEvents {
 		end := min(off+wire.MaxFrameEvents, len(s.buf))
 		s.scratch = wire.AppendEvents(s.scratch[:0], s.buf[off:end])
 		if err := wire.WriteFrame(s.c.bw, wire.TEvents, s.scratch); err != nil {
 			s.buf = s.buf[:0]
+			ssp.SetError(err)
+			ssp.End()
 			return s.fail(err)
 		}
 	}
 	s.buf = s.buf[:0]
+	ssp.End()
 	return nil
 }
 
@@ -357,10 +409,34 @@ func (s *RemoteSession) Flush() error {
 	if s.closed {
 		return errors.New("server: Flush on closed remote session")
 	}
+	// The flush frame carries a span context when one exists: this
+	// client's own flush span, or a propagate-only context a router set.
+	var fsp *tracing.Span
+	var tp string
+	if s.c.tracer != nil {
+		fsp = s.c.tracer.Child("client.flush", s.span.Context())
+		fsp.SetAttr("session", s.id)
+		tp = fsp.Context().Traceparent()
+	} else if s.flushSC.Valid() {
+		tp = s.flushSC.Traceparent()
+	}
+	err := s.flushWire(tp)
+	fsp.SetError(err)
+	fsp.End()
+	return err
+}
+
+// flushWire runs the wire flush barrier, attaching traceparent tp (when
+// non-empty) as the Flush frame's payload.
+func (s *RemoteSession) flushWire(tp string) error {
 	if err := s.ship(); err != nil {
 		return err
 	}
-	if err := wire.WriteFrame(s.c.bw, wire.TFlush, nil); err != nil {
+	var payload []byte
+	if tp != "" {
+		payload, _ = json.Marshal(flushPayload{Trace: tp})
+	}
+	if err := wire.WriteFrame(s.c.bw, wire.TFlush, payload); err != nil {
 		return s.fail(err)
 	}
 	if err := s.c.bw.Flush(); err != nil {
@@ -428,15 +504,31 @@ func (s *RemoteSession) CloseJSON() ([]byte, error) {
 	}
 	switch t {
 	case wire.TReport:
+		s.endSpan(nil)
 		return payload, nil
 	case wire.TRedirect:
 		// The backend is gone mid-close; the stream (including any events
 		// shipped above) must be replayed from the acked offset elsewhere.
+		// The session span stays open — the trace continues after resume.
 		s.closed = false // the session lives on after resumption
 		return nil, s.fail(ErrHandoff)
 	case wire.TError:
-		return nil, s.serverError(payload)
+		err := s.serverError(payload)
+		s.endSpan(err)
+		return nil, err
 	default:
-		return nil, s.fail(fmt.Errorf("server: expected report frame, got %v", t))
+		err := s.fail(fmt.Errorf("server: expected report frame, got %v", t))
+		s.endSpan(err)
+		return nil, err
 	}
+}
+
+// endSpan finishes the session span once (no-op without a tracer).
+func (s *RemoteSession) endSpan(err error) {
+	if s.span == nil {
+		return
+	}
+	s.span.SetError(err)
+	s.span.End()
+	s.span = nil
 }

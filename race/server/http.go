@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/race"
@@ -64,7 +65,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /admin/drain", s.handleDrain)
 	mux.HandleFunc("POST /admin/sessions/{id}/suspend", s.handleSuspend)
 	mux.HandleFunc("POST /admin/sessions/{id}/recover", s.handleRecover)
-	return mux
+	mux.Handle("GET /debug/traces", tracing.Handler(s.cfg.Tracer))
+	return s.traceHTTP(mux)
+}
+
+// traceHTTP wraps the API mux: each request gets a server-side root span
+// that adopts an incoming traceparent header, the response echoes the
+// span's own context in the same header, and handlers find the context in
+// the request for their ingest spans. With tracing off the mux is
+// returned untouched, so the HTTP path stays exactly as before. Probe and
+// introspection endpoints are exempt — a scrape every few seconds would
+// drown real request trees in the span ring.
+func (s *Server) traceHTTP(next http.Handler) http.Handler {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics", "/debug/traces":
+			next.ServeHTTP(w, r)
+			return
+		}
+		remote, _ := tracing.ParseTraceparent(r.Header.Get(tracing.Header))
+		sp := tr.Root("raced.http "+r.Method+" "+r.URL.Path, remote)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		w.Header().Set(tracing.Header, sp.Context().Traceparent())
+		next.ServeHTTP(w, r.WithContext(tracing.ContextWith(r.Context(), sp.Context())))
+		sp.End()
+	})
 }
 
 // httpError maps session-manager errors to status codes. Every response
@@ -172,6 +202,7 @@ const ingestBatch = 4096
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, sess *Session) {
 	br := bufio.NewReaderSize(r.Body, 1<<16)
 	var (
+		sc    = tracing.FromContext(r.Context())
 		rec   [trace.RecordSize]byte
 		batch = make([]race.Event, 0, ingestBatch)
 		fed   uint64
@@ -183,7 +214,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, sess *Sess
 		run := batch
 		batch = make([]race.Event, 0, ingestBatch)
 		fed += uint64(len(run))
-		return sess.Feed(run)
+		return sess.FeedCtx(sc, run)
 	}
 	for {
 		_, err := io.ReadFull(br, rec[:])
@@ -214,8 +245,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, sess *Sess
 	writeJSON(w, map[string]uint64{"fed": fed})
 }
 
-func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request, sess *Session) {
-	if err := sess.Flush(); err != nil {
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if err := sess.FlushCtx(tracing.FromContext(r.Context())); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -290,6 +321,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		openError(w, err)
 		return
 	}
+	// The whole one-shot run parents under this request's span.
+	sess.SetTraceContext(tracing.FromContext(r.Context()))
 	dec := trace.NewDecoder(r.Body)
 	batch := make([]race.Event, 0, ingestBatch)
 	for {
@@ -427,7 +460,7 @@ func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
 // (a migration's copied journal) into this server.
 func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.RecoverSession(id); err != nil {
+	if err := s.recoverSessionCtx(tracing.FromContext(r.Context()), id); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -438,12 +471,13 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]uint64{"fed": offset})
 }
 
-// handleMetrics serves the registry two ways: ?format=prometheus emits
-// the text exposition (v0.0.4); the default JSON body carries every
+// handleMetrics serves the registry two ways: ?format=prometheus — or a
+// Prometheus-style Accept: text/plain; version=0.0.4 header — emits the
+// text exposition (v0.0.4); the default JSON body carries every
 // canonical metric (see the README catalog) plus the legacy PR 4 keys
 // as aliases, kept for one release so existing scrapers keep working.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "prometheus" {
+	if r.URL.Query().Get("format") == "prometheus" || obs.AcceptsText(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", obs.TextContentType)
 		obs.WriteText(w, s.Registry().Snapshot())
 		return

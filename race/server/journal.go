@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/fault"
+	"repro/internal/obs/tracing"
 	"repro/internal/store"
 	"repro/race"
 )
@@ -239,6 +241,12 @@ func (s *Server) Recover() (int, error) {
 		}
 	}
 	sort.Strings(names)
+	// Boot-time recovery is its own span tree: one root for the scan, one
+	// child per session replayed (each with its journal-replay span), so a
+	// slow restart shows which journal the time went to.
+	rsp := s.cfg.Tracer.Root("raced.recover", tracing.SpanContext{})
+	rsp.SetInt("session_dirs", int64(len(names)))
+	defer rsp.End()
 	resumed := 0
 	for _, name := range names {
 		dir := filepath.Join(root, name)
@@ -256,7 +264,7 @@ func (s *Server) Recover() (int, error) {
 		case stateClosed:
 			s.recoverFinished(dir, meta)
 		case stateOpen:
-			if err := s.recoverOpen(dir, meta); err != nil {
+			if err := s.recoverOpen(rsp.Context(), dir, meta); err != nil {
 				// One unrecoverable session (a config this binary no
 				// longer accepts, a journal I/O error) must not crash-loop
 				// the whole service: skip it, leave its directory
@@ -279,6 +287,21 @@ func (s *Server) Recover() (int, error) {
 // replays its journal and joins the live table, resumable at the journal
 // offset; a "closed" one joins the finished archive with its report.
 func (s *Server) RecoverSession(id string) error {
+	return s.recoverSessionCtx(tracing.SpanContext{}, id)
+}
+
+// RecoverSessionCtx is RecoverSession under a caller's trace context — an
+// in-process Local backend forwards the router's migrate span the same way
+// the recover admin request's traceparent does for a Remote one.
+func (s *Server) RecoverSessionCtx(ctx context.Context, id string) error {
+	return s.recoverSessionCtx(tracing.FromContext(ctx), id)
+}
+
+// recoverSessionCtx is RecoverSession under a caller's trace context —
+// the router's migrate span arrives here through the recover admin
+// request's traceparent, making the target-side replay part of the same
+// migration tree.
+func (s *Server) recoverSessionCtx(parent tracing.SpanContext, id string) error {
 	if s.cfg.DataDir == "" {
 		return errors.New("server: no data dir; nothing to recover from")
 	}
@@ -319,7 +342,7 @@ func (s *Server) RecoverSession(id string) error {
 		s.recoverFinished(dir, meta)
 		return nil
 	case stateOpen:
-		if err := s.recoverOpen(dir, meta); err != nil {
+		if err := s.recoverOpen(parent, dir, meta); err != nil {
 			return err
 		}
 		s.metrics.imported.Add(1)
@@ -407,10 +430,14 @@ func (s *Server) recoverFinished(dir string, meta sessionMeta) {
 // journal into it, and hand the session to a new feeder. The replay runs
 // on the recovering goroutine — the feeder starts only afterwards, so the
 // engine is never touched concurrently.
-func (s *Server) recoverOpen(dir string, meta sessionMeta) error {
+func (s *Server) recoverOpen(parent tracing.SpanContext, dir string, meta sessionMeta) error {
+	ssp := s.cfg.Tracer.Child("raced.recover.session", parent)
+	ssp.SetAttr("session", meta.ID)
+	defer ssp.End()
 	jlog, err := store.Open(filepath.Join(dir, "journal"),
 		store.Options{Metrics: &s.metrics.store, FS: s.fsys()})
 	if err != nil {
+		ssp.SetError(err)
 		return err
 	}
 	sess := &Session{
@@ -422,9 +449,15 @@ func (s *Server) recoverOpen(dir string, meta sessionMeta) error {
 		work: make(chan workItem, s.cfg.QueueDepth),
 		done: make(chan struct{}),
 	}
+	// Replay spans (and the session's later ingest spans, until a
+	// connection re-attaches) parent under the recovery tree.
+	if ssp != nil {
+		sess.traceCtx = ssp.Context()
+	}
 	sink, err := s.cfg.newSink(meta.Config, sess.onRace)
 	if err != nil {
 		jlog.Close()
+		ssp.SetError(err)
 		return err
 	}
 	if err := sess.replayJournal(sink); err != nil {
@@ -455,7 +488,14 @@ func (s *Server) recoverOpen(dir string, meta sessionMeta) error {
 // session's online race list and event counts rebuild as a side effect of
 // the engine re-detecting every race (the onRace callback is live during
 // replay).
-func (sess *Session) replayJournal(sink engineSink) error {
+func (sess *Session) replayJournal(sink engineSink) (err error) {
+	jsp := sess.startSpan("raced.journal.replay", tracing.SpanContext{})
+	var replayed uint64
+	defer func() {
+		jsp.SetInt("events", int64(replayed))
+		jsp.SetError(err)
+		jsp.End()
+	}()
 	r, err := sess.jlog.Reader()
 	if err != nil {
 		return err
@@ -476,6 +516,7 @@ func (sess *Session) replayJournal(sink engineSink) error {
 		sess.mu.Lock()
 		sess.fed += uint64(len(batch))
 		sess.mu.Unlock()
+		replayed += uint64(len(batch))
 		batch = batch[:0]
 		return nil
 	}

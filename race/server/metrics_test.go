@@ -1,6 +1,9 @@
 package server
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -142,5 +145,64 @@ func TestMetricsJSONBackCompat(t *testing.T) {
 	}
 	if _, err := sess.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMetricsContentNegotiation: /metrics serves the Prometheus text
+// exposition both under ?format=prometheus (the original selector) and for
+// an Accept header asking for text/plain (how Prometheus itself scrapes);
+// everything else keeps the JSON default.
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path, accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := get("/metrics?format=prometheus", "")
+	if ct != obs.TextContentType {
+		t.Errorf("?format=prometheus Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	if !strings.Contains(body, "raced_sessions_active") {
+		t.Error("?format=prometheus body missing raced_sessions_active")
+	}
+
+	ct, body = get("/metrics", "text/plain; version=0.0.4")
+	if ct != obs.TextContentType {
+		t.Errorf("Accept text/plain Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	if _, err := obs.ParseText(strings.NewReader(body)); err != nil {
+		t.Errorf("Accept-negotiated exposition does not parse: %v", err)
+	}
+
+	// JSON default is unaffected — including for a browser's */*.
+	for _, accept := range []string{"", "*/*", "application/json"} {
+		ct, body = get("/metrics", accept)
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("Accept %q Content-Type = %q, want application/json", accept, ct)
+		}
+		if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+			t.Errorf("Accept %q body is not a JSON object", accept)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/tracing"
 	"repro/internal/wire"
 	"repro/race"
 )
@@ -40,6 +41,9 @@ type ReliableSession struct {
 	c    *Client
 	sess *RemoteSession
 	id   string
+
+	tracer  *tracing.Tracer     // client-side span recording (WithTracer)
+	traceSC tracing.SpanContext // first connection's session span: the stream's trace identity
 
 	acked   uint64       // events the server has acknowledged (flush ack / resume ack)
 	pending []race.Event // events fed after acked — the replay buffer
@@ -84,6 +88,14 @@ func WithRetry(p RetryPolicy) ReliableOption {
 	return func(s *ReliableSession) { s.policy = p }
 }
 
+// WithTracer makes every underlying connection record client-side spans
+// and propagate trace context, preserved across reconnects: resumed
+// connections' session spans parent under the first connection's, so one
+// trace ID follows the stream through redirects and migrations.
+func WithTracer(t *tracing.Tracer) ReliableOption {
+	return func(s *ReliableSession) { s.tracer = t }
+}
+
 // WithReliableBatchSize tunes the wrapped session's client-side batch size
 // (DefaultClientBatch otherwise), preserved across reconnects.
 func WithReliableBatchSize(n int) ReliableOption {
@@ -106,6 +118,7 @@ func OpenReliable(ctx context.Context, addr string, cfg SessionConfig, opts ...R
 	if err != nil {
 		return nil, err
 	}
+	c.SetTracer(rs.tracer)
 	sess, err := c.OpenContext(ctx, cfg)
 	if err != nil {
 		c.Close()
@@ -113,6 +126,7 @@ func OpenReliable(ctx context.Context, addr string, cfg SessionConfig, opts ...R
 	}
 	sess.SetBatchSize(rs.batchSize)
 	rs.c, rs.sess, rs.id = c, sess, sess.ID()
+	rs.traceSC = sess.TraceContext()
 	return rs, nil
 }
 
@@ -126,6 +140,7 @@ func ResumeReliable(ctx context.Context, addr, id string, opts ...ReliableOption
 	if err != nil {
 		return nil, 0, err
 	}
+	c.SetTracer(rs.tracer)
 	sess, fed, err := c.Resume(ctx, id)
 	if err != nil {
 		c.Close()
@@ -134,6 +149,7 @@ func ResumeReliable(ctx context.Context, addr, id string, opts ...ReliableOption
 	sess.SetBatchSize(rs.batchSize)
 	rs.c, rs.sess, rs.id = c, sess, id
 	rs.acked = fed
+	rs.traceSC = sess.TraceContext()
 	return rs, fed, nil
 }
 
@@ -157,6 +173,11 @@ func (s *ReliableSession) ID() string { return s.id }
 // has been analyzed (and journaled, on a durable backend) and is no longer
 // buffered client-side.
 func (s *ReliableSession) Acked() uint64 { return s.acked }
+
+// TraceContext returns the stream's trace identity — the first connection's
+// session span — or a zero SpanContext when tracing is off. Reconnected
+// sessions parent under it, so the whole stream shares one trace ID.
+func (s *ReliableSession) TraceContext() tracing.SpanContext { return s.traceSC }
 
 // isTransient reports whether err is worth a reconnect: an explicit handoff
 // redirect, connection-level failure (including a frame that failed its
@@ -226,7 +247,8 @@ func (s *ReliableSession) reconnect() error {
 			lastErr = err
 			continue
 		}
-		sess, fed, err := c.Resume(s.ctx, s.id)
+		c.SetTracer(s.tracer)
+		sess, fed, err := c.Resume(tracing.ContextWith(s.ctx, s.traceSC), s.id)
 		if err != nil {
 			c.Close()
 			if s.ctx.Err() != nil {

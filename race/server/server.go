@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/store"
 	"repro/race"
 )
@@ -98,6 +99,12 @@ type Config struct {
 	// The wrapper sits under the I/O deadline layer, so injected stalls
 	// are subject to IOTimeout like organic ones.
 	WrapConn func(net.Conn) net.Conn
+	// Tracer records per-request span trees (enqueue, journal append,
+	// fsync, engine feed, flush barrier, recovery replay), stitching them
+	// to client traces through wire and HTTP trace context. Nil disables
+	// tracing; every instrumentation point is nil-safe and allocation-free
+	// when disabled.
+	Tracer *tracing.Tracer
 
 	// now and newSink are test seams.
 	now     func() time.Time
@@ -708,6 +715,10 @@ func (s *Server) SuspendSession(id string) (uint64, error) {
 // Prometheus scrape or a racemon collector reads.
 func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
 
+// Tracer returns the server's span tracer (nil when tracing is off) so
+// front ends can mount /debug/traces and daemons can share it.
+func (s *Server) Tracer() *tracing.Tracer { return s.cfg.Tracer }
+
 // Metrics returns a snapshot of the server's counters in the legacy
 // (PR 4) JSON shape. The events_total read happens first — it is the
 // downstream end of the ingest pipeline — so the snapshot can never
@@ -856,6 +867,10 @@ func (s *Server) Close() error {
 type workItem struct {
 	events []race.Event
 	ack    chan error
+	// trace is the span context the feeder parents its journal/engine
+	// spans under: the enqueue span for a batch, the flush span for a
+	// barrier. Zero when tracing is off or no context reached the session.
+	trace tracing.SpanContext
 }
 
 // Session is one tenant: an engine plus the feeder goroutine and queue
@@ -886,8 +901,36 @@ type Session struct {
 	online     []race.RaceInfo
 	report     *race.Report
 	err        error
-	suspended  bool // graceful shutdown: feeder preserves the journal
-	attached   bool // a wire connection or HTTP mutation currently drives this session
+	suspended  bool                // graceful shutdown: feeder preserves the journal
+	attached   bool                // a wire connection or HTTP mutation currently drives this session
+	traceCtx   tracing.SpanContext // default parent for ingest spans (the driving connection's span)
+}
+
+// SetTraceContext records the span context driving this session — the
+// wire connection's span (serveConn) or an in-process fleet backend's
+// route span — as the default parent for ingest spans when a request
+// carries no context of its own.
+func (sess *Session) SetTraceContext(sc tracing.SpanContext) {
+	sess.mu.Lock()
+	sess.traceCtx = sc
+	sess.mu.Unlock()
+}
+
+// startSpan opens a child span named name under parent, falling back to
+// the session's connection-level context. Nil (free) when tracing is off.
+func (sess *Session) startSpan(name string, parent tracing.SpanContext) *tracing.Span {
+	tr := sess.srv.cfg.Tracer
+	if tr == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		sess.mu.Lock()
+		parent = sess.traceCtx
+		sess.mu.Unlock()
+	}
+	sp := tr.Child(name, parent)
+	sp.SetAttr("session", sess.ID)
+	return sp
 }
 
 // onRace collects online detections; it runs on the feeder goroutine (or
@@ -915,7 +958,11 @@ func (sess *Session) run(sink engineSink) {
 			// then really means "everything before this point is analyzed
 			// and survives a crash".
 			if sess.Err() == nil && sess.jlog != nil {
-				if err := sess.jlog.Sync(); err != nil {
+				jsp := sess.startSpan("raced.journal.fsync", item.trace)
+				err := sess.jlog.Sync()
+				jsp.SetError(err)
+				jsp.End()
+				if err != nil {
 					if sess.fail(fmt.Errorf("%w: syncing journal: %w", ErrDiskFault, err)) {
 						sess.srv.metrics.failed.Add(1)
 						sess.srv.noteIOFault(err)
@@ -923,7 +970,11 @@ func (sess *Session) run(sink engineSink) {
 				}
 			}
 			if sess.Err() == nil {
-				if err := syncSafe(sink); err != nil && sess.fail(err) {
+				esp := sess.startSpan("raced.engine.sync", item.trace)
+				err := syncSafe(sink)
+				esp.SetError(err)
+				esp.End()
+				if err != nil && sess.fail(err) {
 					sess.srv.metrics.failed.Add(1)
 				}
 			}
@@ -937,9 +988,13 @@ func (sess *Session) run(sink engineSink) {
 		// crash can lose unjournaled analysis work but never journal an
 		// event the engine might not have seen on replay.
 		if sess.jlog != nil {
+			jsp := sess.startSpan("raced.journal.append", item.trace)
+			jsp.SetInt("events", int64(len(item.events)))
 			t0 := time.Now()
 			err := sess.jlog.AppendBatch(item.events)
 			sess.srv.metrics.journalAppend.ObserveDuration(time.Since(t0))
+			jsp.SetError(err)
+			jsp.End()
 			if err != nil {
 				if sess.fail(fmt.Errorf("%w: journaling batch: %w", ErrDiskFault, err)) {
 					sess.srv.metrics.failed.Add(1)
@@ -949,12 +1004,17 @@ func (sess *Session) run(sink engineSink) {
 			}
 		}
 		sess.srv.metrics.journaled.Add(uint64(len(item.events)))
+		asp := sess.startSpan("raced.engine.analyze", item.trace)
+		asp.SetInt("events", int64(len(item.events)))
 		if err := feedSafe(sink, item.events); err != nil {
+			asp.SetError(err)
+			asp.End()
 			if sess.fail(err) {
 				sess.srv.metrics.failed.Add(1)
 			}
 			continue
 		}
+		asp.End()
 		sess.srv.metrics.analyzed.Add(uint64(len(item.events)))
 		sess.srv.metrics.batches.Add(1)
 		sess.mu.Lock()
@@ -1130,6 +1190,14 @@ func (sess *Session) touch() {
 // A sticky ingestion error is returned immediately (the batch is dropped),
 // but full error reporting is Flush's and Close's job.
 func (sess *Session) Feed(events []race.Event) error {
+	return sess.FeedCtx(tracing.SpanContext{}, events)
+}
+
+// FeedCtx is Feed with an explicit trace parent (an HTTP request span or
+// wire connection span); the enqueue span and the feeder's journal/engine
+// spans for this batch parent under it. A zero parent falls back to the
+// session's connection-level context.
+func (sess *Session) FeedCtx(parent tracing.SpanContext, events []race.Event) error {
 	if len(events) == 0 {
 		return sess.Err()
 	}
@@ -1142,16 +1210,20 @@ func (sess *Session) Feed(events []race.Event) error {
 		return err
 	}
 	sess.touch()
+	sp := sess.startSpan("raced.enqueue", parent)
+	sp.SetInt("events", int64(len(events)))
+	sp.SetInt("queue_depth", int64(len(sess.work)))
 	// Counter before send: once the batch is in the channel the feeder
 	// may journal and analyze it at any moment, and the pipeline
 	// invariant (enqueued ≥ journaled ≥ analyzed) must hold under any
 	// interleaving with a scrape.
 	sess.srv.metrics.enqueued.Add(uint64(len(events)))
 	sess.srv.metrics.queueDepth.Observe(float64(len(sess.work)))
-	sess.work <- workItem{events: events}
+	sess.work <- workItem{events: events, trace: sp.Context()}
 	sess.mu.Lock()
 	sess.enqueued += uint64(len(events))
 	sess.mu.Unlock()
+	sp.End()
 	return nil
 }
 
@@ -1196,18 +1268,28 @@ func (sess *Session) Detach() { sess.detach() }
 // Flush is the sync barrier: it returns once every previously fed batch has
 // been applied to the session's analyses, reporting any ingestion error.
 func (sess *Session) Flush() error {
+	return sess.FlushCtx(tracing.SpanContext{})
+}
+
+// FlushCtx is Flush with an explicit trace parent — the client's flush
+// span carried in the wire Flush frame, or an HTTP request span — so the
+// barrier's journal-fsync and engine-sync spans join the caller's trace.
+func (sess *Session) FlushCtx(parent tracing.SpanContext) error {
 	sess.ingestMu.Lock()
 	if sess.closing {
 		sess.ingestMu.Unlock()
 		return sess.closedErr()
 	}
 	sess.touch()
+	sp := sess.startSpan("raced.flush", parent)
 	t0 := time.Now()
 	ack := make(chan error, 1)
-	sess.work <- workItem{ack: ack}
+	sess.work <- workItem{ack: ack, trace: sp.Context()}
 	sess.ingestMu.Unlock()
 	err := <-ack
 	sess.srv.metrics.flushAck.ObserveDuration(time.Since(t0))
+	sp.SetError(err)
+	sp.End()
 	return err
 }
 

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/tracing"
 	"repro/internal/wire"
 )
 
@@ -93,6 +94,11 @@ type helloPayload struct {
 	Session   SessionConfig `json:"session"`
 	SessionID string        `json:"session_id,omitempty"`
 	Resume    string        `json:"resume,omitempty"`
+	// Trace optionally carries the client's W3C traceparent so the
+	// server's spans for this connection join the client's trace. Old
+	// peers ignore the unknown JSON field, so the protocol version is
+	// unchanged (see wire.Proto).
+	Trace string `json:"trace,omitempty"`
 }
 
 // ackPayload is the JSON body of the Ack frame. Fed is the event offset
@@ -101,6 +107,16 @@ type helloPayload struct {
 type ackPayload struct {
 	Session string `json:"session"`
 	Fed     uint64 `json:"fed"`
+}
+
+// flushPayload is the optional JSON body of a Flush frame: a traceparent
+// tying the server-side barrier spans (journal fsync, engine sync) to the
+// client's flush span. Historically the Flush frame had an empty payload
+// and servers never inspected it, so both directions stay compatible with
+// old peers: an old server ignores the payload, a new server treats an
+// empty one as "no trace context".
+type flushPayload struct {
+	Trace string `json:"trace,omitempty"`
 }
 
 // flushAckPayload is the JSON body of the FlushAck frame.
@@ -242,6 +258,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		defer sess.detach()
 	}
+	// The connection span is the server-side root: it adopts the client's
+	// trace when the hello carried one (invalid/absent parses to a zero
+	// context and starts a fresh trace), and every ingest span on this
+	// session parents under it unless a frame brings its own context.
+	remoteSC, _ := tracing.ParseTraceparent(hello.Trace)
+	connSpan := s.cfg.Tracer.Root("raced.conn", remoteSC)
+	connSpan.SetAttr("session", sess.ID)
+	connSpan.SetAttr("remote", conn.RemoteAddr().String())
+	if hello.Resume != "" {
+		connSpan.SetAttr("resume", hello.Resume)
+	}
+	defer connSpan.End()
+	if connSpan != nil {
+		sess.SetTraceContext(connSpan.Context())
+	}
 	// lost tears the connection's session down: a durable session is left
 	// live (and resumable — its journal is the source of truth), while a
 	// memory-only session frees its slot immediately.
@@ -286,7 +317,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		case wire.TFlush:
-			if err := sess.Flush(); err != nil {
+			// Best-effort: an empty or undecodable payload (old client)
+			// just means the barrier spans parent under the connection.
+			var fp flushPayload
+			if len(payload) > 0 {
+				json.Unmarshal(payload, &fp)
+			}
+			fsc, _ := tracing.ParseTraceparent(fp.Trace)
+			if err := sess.FlushCtx(fsc); err != nil {
 				sess.Close()
 				sendErr(err)
 				return
