@@ -17,9 +17,13 @@
 // scrape-error count.
 //
 // -check re-reads a report and fails (non-zero exit) unless the schema is
-// racemon/v1, at least one cycle was collected, and every per-target
-// counter is monotone non-decreasing across cycles — the same assertions
-// CI's metrics-smoke job makes.
+// racemon/v1 (or the raceload/v1 superset emitted by cmd/raceload), at
+// least one cycle was collected, and every per-target counter is monotone
+// non-decreasing across cycles — the same assertions CI's smoke jobs make.
+//
+// The collection and validation logic lives in internal/obs/collect so
+// cmd/raceload can run the same collector inline while generating load;
+// this file is only flag parsing and the polling loop.
 package main
 
 import (
@@ -29,68 +33,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/collect"
 )
-
-const schemaVersion = "racemon/v1"
-
-// Report is the LOAD_*.json document.
-type Report struct {
-	Schema          string   `json:"schema"`
-	IntervalSeconds float64  `json:"interval_seconds"`
-	Targets         []string `json:"targets"`
-	Cycles          []Cycle  `json:"cycles"`
-	Summary         Summary  `json:"summary"`
-}
-
-// Cycle is one polling round across every target.
-type Cycle struct {
-	Targets map[string]TargetSample `json:"targets"`
-	Fleet   FleetSample             `json:"fleet"`
-}
-
-// TargetSample is one target's scrape: flat counter/gauge values by
-// canonical name and histograms reduced to count/sum/quantiles.
-type TargetSample struct {
-	Up         bool                 `json:"up"`
-	Counters   map[string]float64   `json:"counters,omitempty"`
-	Gauges     map[string]float64   `json:"gauges,omitempty"`
-	Histograms map[string]HistStats `json:"histograms,omitempty"`
-}
-
-// HistStats summarizes one histogram family (samples merged across its
-// label sets).
-type HistStats struct {
-	Count uint64  `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
-}
-
-// FleetSample is the cross-target aggregate for one cycle.
-type FleetSample struct {
-	// EventsPerSecond is the fleet-wide analysis throughput over the
-	// interval ending at this cycle (0 for the first cycle — no delta yet).
-	EventsPerSecond float64 `json:"events_per_second"`
-	// EventsAnalyzedTotal sums raced_events_analyzed_total across targets.
-	EventsAnalyzedTotal float64 `json:"events_analyzed_total"`
-}
-
-// Summary is the whole run reduced to its headline numbers.
-type Summary struct {
-	Cycles                   int     `json:"cycles"`
-	ScrapeErrors             int     `json:"scrape_errors"`
-	SustainedEventsPerSecond float64 `json:"sustained_events_per_second"`
-	PeakEventsPerSecond      float64 `json:"peak_events_per_second"`
-	FlushAckP50Seconds       float64 `json:"flush_ack_p50_seconds"`
-	FlushAckP99Seconds       float64 `json:"flush_ack_p99_seconds"`
-}
 
 type targetFlag []string
 
@@ -120,7 +69,7 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level).With("component", "racemon")
 
 	if *check != "" {
-		if err := checkReport(*check); err != nil {
+		if err := collect.CheckFile(*check); err != nil {
 			fatalf("%s: %v", *check, err)
 		}
 		logger.Info("report valid", "path", *check)
@@ -131,7 +80,7 @@ func main() {
 	}
 	urls := make([]string, len(targets))
 	for i, t := range targets {
-		urls[i] = normalizeTarget(t)
+		urls[i] = collect.NormalizeTarget(t)
 	}
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
@@ -145,34 +94,34 @@ func main() {
 		}()
 	}
 
-	rep := &Report{
-		Schema:          schemaVersion,
+	rep := &collect.Report{
+		Schema:          collect.SchemaVersion,
 		IntervalSeconds: interval.Seconds(),
 		Targets:         urls,
 	}
 	client := &http.Client{Timeout: *interval}
-	col := newCollector(rep)
+	col := collect.New(rep)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
-collect:
+collectLoop:
 	for i := 0; *cycles == 0 || i < *cycles; i++ {
 		now := time.Now()
-		samples := make(map[string]TargetSample, len(urls))
+		samples := make(map[string]collect.TargetSample, len(urls))
 		for _, u := range urls {
-			s, err := scrape(client, u)
+			s, err := collect.Scrape(client, u)
 			if err != nil {
 				logger.Warn("scrape failed", "target", u, "err", err)
 				rep.Summary.ScrapeErrors++
-				samples[u] = TargetSample{Up: false}
+				samples[u] = collect.TargetSample{Up: false}
 				continue
 			}
 			samples[u] = s
 		}
-		cyc := col.record(now, samples)
+		cyc := col.Record(now, samples)
 		logger.Debug("cycle", "n", i, "events_total", cyc.Fleet.EventsAnalyzedTotal,
 			"events_per_second", cyc.Fleet.EventsPerSecond)
 
@@ -183,11 +132,11 @@ collect:
 		case <-tick.C:
 		case s := <-sig:
 			logger.Info("stopping", "signal", s.String())
-			break collect
+			break collectLoop
 		}
 	}
 
-	col.finish()
+	col.Finish()
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatalf("%v", err)
@@ -197,52 +146,6 @@ collect:
 	}
 	logger.Info("report written", "path", *out, "cycles", len(rep.Cycles),
 		"sustained_eps", rep.Summary.SustainedEventsPerSecond)
-}
-
-// collector folds successive polling rounds into a report, computing the
-// fleet counter-delta throughput between rounds. Extracted from the polling
-// loop so the delta arithmetic is unit-testable with synthetic samples.
-type collector struct {
-	rep        *Report
-	prevTotal  float64
-	prevAt     time.Time
-	totalDelta float64
-	firstAt    time.Time
-}
-
-func newCollector(rep *Report) *collector { return &collector{rep: rep} }
-
-// record appends one polling round. Throughput is the delta of the summed
-// raced_events_analyzed_total counters over the wall-clock gap since the
-// previous round (zero for the first round — no delta yet); a negative
-// delta (a restarted backend reset its counters) contributes nothing
-// rather than a negative rate.
-func (c *collector) record(now time.Time, samples map[string]TargetSample) Cycle {
-	cyc := Cycle{Targets: samples}
-	for _, s := range samples {
-		cyc.Fleet.EventsAnalyzedTotal += s.Counters["raced_events_analyzed_total"]
-	}
-	if !c.prevAt.IsZero() {
-		dt := now.Sub(c.prevAt).Seconds()
-		delta := cyc.Fleet.EventsAnalyzedTotal - c.prevTotal
-		if dt > 0 && delta >= 0 {
-			cyc.Fleet.EventsPerSecond = delta / dt
-			c.totalDelta += delta
-			if cyc.Fleet.EventsPerSecond > c.rep.Summary.PeakEventsPerSecond {
-				c.rep.Summary.PeakEventsPerSecond = cyc.Fleet.EventsPerSecond
-			}
-		}
-	} else {
-		c.firstAt = now
-	}
-	c.prevTotal, c.prevAt = cyc.Fleet.EventsAnalyzedTotal, now
-	c.rep.Cycles = append(c.rep.Cycles, cyc)
-	return cyc
-}
-
-// finish computes the run summary from the collected cycles.
-func (c *collector) finish() {
-	finalize(c.rep, c.prevAt.Sub(c.firstAt).Seconds(), c.totalDelta)
 }
 
 // selfMetricsHandler serves racemon's own registry at /metrics, honoring
@@ -260,142 +163,6 @@ func selfMetricsHandler(reg *obs.Registry) http.Handler {
 		json.NewEncoder(w).Encode(obs.JSONMap(reg.Snapshot()))
 	})
 	return mux
-}
-
-// normalizeTarget turns host:port into a full metrics URL.
-func normalizeTarget(t string) string {
-	if !strings.Contains(t, "://") {
-		t = "http://" + t
-	}
-	return strings.TrimSuffix(t, "/")
-}
-
-// scrape fetches and reduces one target's Prometheus exposition.
-func scrape(client *http.Client, base string) (TargetSample, error) {
-	res, err := client.Get(base + "/metrics?format=prometheus")
-	if err != nil {
-		return TargetSample{}, err
-	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		return TargetSample{}, fmt.Errorf("status %s", res.Status)
-	}
-	fams, err := obs.ParseText(res.Body)
-	if err != nil {
-		return TargetSample{}, err
-	}
-	s := TargetSample{
-		Up:         true,
-		Counters:   make(map[string]float64),
-		Gauges:     make(map[string]float64),
-		Histograms: make(map[string]HistStats),
-	}
-	for _, f := range fams {
-		switch f.Type {
-		case "histogram":
-			if h := f.Histogram(); h != nil {
-				s.Histograms[f.Name] = HistStats{
-					Count: h.Count, Sum: h.Sum,
-					P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
-				}
-			}
-		case "gauge":
-			for _, sm := range f.Samples {
-				s.Gauges[sampleKey(sm)] += sm.Value
-			}
-		default: // counter, untyped
-			for _, sm := range f.Samples {
-				s.Counters[sampleKey(sm)] += sm.Value
-			}
-		}
-	}
-	return s, nil
-}
-
-// sampleKey spells a series name{labels} the way the exposition does, so
-// report keys match what an operator sees when scraping by hand.
-func sampleKey(s obs.Sample) string {
-	if len(s.Labels) == 0 {
-		return s.Name
-	}
-	parts := make([]string, len(s.Labels))
-	for i, l := range s.Labels {
-		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
-	}
-	return s.Name + "{" + strings.Join(parts, ",") + "}"
-}
-
-// finalize computes the run summary from the collected cycles.
-func finalize(rep *Report, elapsed, totalDelta float64) {
-	rep.Summary.Cycles = len(rep.Cycles)
-	if elapsed > 0 {
-		rep.Summary.SustainedEventsPerSecond = totalDelta / elapsed
-	}
-	if len(rep.Cycles) == 0 {
-		return
-	}
-	// Flush-ack quantiles from the last cycle, worst target wins (merging
-	// interpolated quantiles across targets would fabricate precision).
-	last := rep.Cycles[len(rep.Cycles)-1]
-	for _, ts := range last.Targets {
-		if h, ok := ts.Histograms["raced_flush_ack_seconds"]; ok && h.Count > 0 {
-			if h.P50 > rep.Summary.FlushAckP50Seconds {
-				rep.Summary.FlushAckP50Seconds = h.P50
-			}
-			if h.P99 > rep.Summary.FlushAckP99Seconds {
-				rep.Summary.FlushAckP99Seconds = h.P99
-			}
-		}
-	}
-}
-
-// checkReport validates a LOAD_*.json document: schema version, at least
-// one cycle, and per-target counter monotonicity across cycles.
-func checkReport(path string) error {
-	doc, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var rep Report
-	if err := json.Unmarshal(doc, &rep); err != nil {
-		return fmt.Errorf("not valid JSON: %w", err)
-	}
-	if rep.Schema != schemaVersion {
-		return fmt.Errorf("schema %q, want %q", rep.Schema, schemaVersion)
-	}
-	if len(rep.Targets) == 0 {
-		return fmt.Errorf("no targets recorded")
-	}
-	if len(rep.Cycles) == 0 {
-		return fmt.Errorf("no cycles collected")
-	}
-	if rep.Summary.Cycles != len(rep.Cycles) {
-		return fmt.Errorf("summary.cycles = %d but %d cycles recorded", rep.Summary.Cycles, len(rep.Cycles))
-	}
-	prev := make(map[string]map[string]float64) // target → counter → last value
-	for i, cyc := range rep.Cycles {
-		for tgt, ts := range cyc.Targets {
-			if !ts.Up {
-				continue
-			}
-			if prev[tgt] == nil {
-				prev[tgt] = make(map[string]float64)
-			}
-			names := make([]string, 0, len(ts.Counters))
-			for name := range ts.Counters {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			for _, name := range names {
-				v := ts.Counters[name]
-				if last, ok := prev[tgt][name]; ok && v < last {
-					return fmt.Errorf("cycle %d: %s %s went backwards (%v -> %v)", i, tgt, name, last, v)
-				}
-				prev[tgt][name] = v
-			}
-		}
-	}
-	return nil
 }
 
 func fatalf(format string, args ...any) {

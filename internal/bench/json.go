@@ -10,7 +10,7 @@ package bench
 //	{
 //	  "schema":   "racebench/v1",
 //	  "goos":     "linux", "goarch": "amd64",
-//	  "cpus":      <GOMAXPROCS>, "go": "go1.24",
+//	  "cpus":      <GOMAXPROCS>, "num_cpu": <machine cores>, "go": "go1.24",
 //	  "scale":     <event-count divisor>, "trials": <n>, "seed": <s>,
 //	  "programs": [             // one entry per DaCapo-calibrated workload
 //	    {"name": "avrora", "events": N, "baseline_ns": B,
@@ -52,7 +52,12 @@ type JSONReport struct {
 	Schema string `json:"schema"`
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
+	// CPUs is the effective parallelism budget (GOMAXPROCS); NumCPU is the
+	// machine's core count. They differ when GOMAXPROCS is pinned below the
+	// hardware, which is exactly the case multi-core trend lines must see
+	// to interpret the fan-out speedup.
 	CPUs   int    `json:"cpus"`
+	NumCPU int    `json:"num_cpu,omitempty"`
 	Go     string `json:"go"`
 	Scale  int    `json:"scale"`
 	Trials int    `json:"trials"`
@@ -229,7 +234,7 @@ func BuildJSON(cfg Config, parallelism, batch int) (*JSONReport, error) {
 	rep := &JSONReport{
 		Schema: "racebench/v1",
 		GOOS:   runtime.GOOS, GOARCH: runtime.GOARCH,
-		CPUs: runtime.GOMAXPROCS(0), Go: runtime.Version(),
+		CPUs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Go: runtime.Version(),
 		Scale: cfg.ScaleDiv, Trials: cfg.Trials, Seed: cfg.Seed,
 		Unix: time.Now().Unix(),
 	}

@@ -1,0 +1,257 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs/collect"
+	"repro/race/server"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("dacapo:avrora=2,channels=1,random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(mix))
+	}
+	if mix[0].Kind != "dacapo" || mix[0].Name != "avrora" || mix[0].Weight != 2 {
+		t.Errorf("entry 0 = %+v", mix[0])
+	}
+	if mix[2].Kind != "random" || mix[2].Weight != 1 {
+		t.Errorf("entry 2 = %+v (weight defaults to 1)", mix[2])
+	}
+	for _, bad := range []string{"", "dacapo:nosuch", "exotic", "channels=-1", "dacapo:avrora=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestRampSteps(t *testing.T) {
+	steps := rampSteps(Config{
+		StartRPS: 2, StepRPS: 2, TargetRPS: 8,
+		StepEvery: time.Second, Duration: 5 * time.Second,
+	}.withDefaults())
+	// 2, 4, 6 for 1s each, then 8 held for the remaining 2s.
+	wantRPS := []float64{2, 4, 6, 8}
+	if len(steps) != len(wantRPS) {
+		t.Fatalf("got %d steps, want %d: %+v", len(steps), len(wantRPS), steps)
+	}
+	for i, w := range wantRPS {
+		if steps[i].rps != w {
+			t.Errorf("step %d rps = %v, want %v", i, steps[i].rps, w)
+		}
+	}
+	if steps[3].dur != 2*time.Second {
+		t.Errorf("hold duration = %v, want 2s", steps[3].dur)
+	}
+
+	flat := rampSteps(Config{TargetRPS: 5, Duration: 3 * time.Second}.withDefaults())
+	if len(flat) != 1 || flat[0].rps != 5 || flat[0].dur != 3*time.Second {
+		t.Errorf("flat schedule = %+v, want one 5rps/3s step", flat)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]error{
+		"server_full":     server.ErrServerFull,
+		"draining":        server.ErrDraining,
+		"busy":            server.ErrBusy,
+		"disk_fault":      server.ErrDiskFault,
+		"timeout":         context.DeadlineExceeded,
+		"conn":            syscall.ECONNREFUSED,
+		"unknown_session": server.ErrUnknown,
+	}
+	for want, err := range cases {
+		if got := Classify(err); got != want {
+			t.Errorf("Classify(%v) = %q, want %q", err, got, want)
+		}
+	}
+	if got := Classify(net.ErrClosed); got != "conn" {
+		t.Errorf("Classify(net.ErrClosed) = %q, want conn", got)
+	}
+	// An error with no type at all is the harness violation case.
+	if got := Classify(context.Background().Err()); got != "" {
+		// context.Background().Err() is nil; guard the test itself.
+		t.Errorf("nil classify = %q", got)
+	}
+}
+
+func TestDetectOnset(t *testing.T) {
+	steps := []StepStats{
+		{Index: 0, TargetRPS: 2, FlushCount: 10, FlushAckP99: 0.010},
+		{Index: 1, TargetRPS: 4, FlushCount: 10, FlushAckP99: 0.020},
+		{Index: 2, TargetRPS: 8, FlushCount: 10, FlushAckP99: 0.900},
+		{Index: 3, TargetRPS: 16, FlushCount: 10, FlushAckP99: 1.500, Rejections: 4},
+	}
+	onset := detectOnset(steps, 250*time.Millisecond)
+	if onset == nil || onset.StepIndex != 2 || onset.Reason != "flush_ack_p99" {
+		t.Fatalf("onset = %+v, want latency breach at step 2", onset)
+	}
+	// Rejections alone trigger onset even with no flush observations.
+	rej := []StepStats{
+		{Index: 0, TargetRPS: 2},
+		{Index: 1, TargetRPS: 4, Rejections: 3},
+	}
+	onset = detectOnset(rej, 250*time.Millisecond)
+	if onset == nil || onset.StepIndex != 1 || onset.Reason != "rejections" {
+		t.Fatalf("onset = %+v, want rejection breach at step 1", onset)
+	}
+	if detectOnset(steps[:2], 250*time.Millisecond) != nil {
+		t.Error("healthy steps reported an onset")
+	}
+}
+
+// startBackend boots an in-process raced with both wire and metrics
+// endpoints, returning the TCP addr and the metrics URL.
+func startBackend(t *testing.T, cfg server.Config) (string, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(cfg)
+	go s.ServeTCP(lis)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		lis.Close()
+		s.Close()
+	})
+	return lis.Addr().String(), hs.URL
+}
+
+// TestRunEndToEnd drives a short real load against an in-process raced:
+// sessions complete, every error is classified, sampled reports verify
+// byte-identical, and the emitted document passes the racemon/raceload
+// schema check.
+func TestRunEndToEnd(t *testing.T) {
+	addr, metricsURL := startBackend(t, server.Config{})
+	rep, err := Run(context.Background(), Config{
+		Addr:           addr,
+		Targets:        []string{metricsURL},
+		ScrapeInterval: 150 * time.Millisecond,
+		TargetRPS:      40,
+		Duration:       900 * time.Millisecond,
+		StepEvery:      900 * time.Millisecond,
+		SessionEvents:  400,
+		FlushEvery:     128,
+		Mix:            []MixEntry{{Kind: "random", Weight: 1}},
+		VerifySample:   3,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Generator
+	if g.SessionsLaunched == 0 || g.SessionsCompleted == 0 {
+		t.Fatalf("no load ran: %+v", g)
+	}
+	if g.Unclassified != 0 {
+		t.Fatalf("unclassified errors: %d (%v)", g.Unclassified, g.UnclassifiedSamples)
+	}
+	if g.SessionsCompleted+g.SessionsFailed+g.SessionsSkipped != g.SessionsLaunched {
+		t.Errorf("session accounting: launched %d != completed %d + failed %d + skipped %d",
+			g.SessionsLaunched, g.SessionsCompleted, g.SessionsFailed, g.SessionsSkipped)
+	}
+	if g.FlushAckP50 <= 0 || g.EventsSent == 0 {
+		t.Errorf("client SLOs empty: flush p50 %v, events %d", g.FlushAckP50, g.EventsSent)
+	}
+	if g.Verify == nil || g.Verify.Sampled == 0 {
+		t.Fatal("verification did not sample any session")
+	}
+	if g.Verify.Matched != g.Verify.Sampled {
+		t.Fatalf("report mismatches: %+v", g.Verify)
+	}
+	if len(rep.Cycles) == 0 {
+		t.Error("embedded collector recorded no cycles")
+	}
+
+	// The emitted document must pass the same validation racemon -check runs.
+	doc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checkRep collect.Report
+	if err := json.Unmarshal(doc, &checkRep); err != nil {
+		t.Fatal(err)
+	}
+	if err := collect.Check(&checkRep); err != nil {
+		t.Fatalf("emitted report fails collect.Check: %v", err)
+	}
+}
+
+// TestRunDetectsAdmissionBackpressure: against a one-session server, a
+// multi-session ramp must classify rejections as server_full and flag a
+// backpressure onset — never an unclassified error.
+func TestRunDetectsAdmissionBackpressure(t *testing.T) {
+	addr, _ := startBackend(t, server.Config{MaxSessions: 1})
+	rep, err := Run(context.Background(), Config{
+		Addr:          addr,
+		TargetRPS:     40,
+		Duration:      700 * time.Millisecond,
+		StepEvery:     700 * time.Millisecond,
+		SessionEvents: 4000,
+		FlushEvery:    256,
+		EventRate:     2000, // slow sessions down so arrivals overlap
+		Mix:           []MixEntry{{Kind: "random", Weight: 1}},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Generator
+	if g.Unclassified != 0 {
+		t.Fatalf("unclassified errors: %d (%v)", g.Unclassified, g.UnclassifiedSamples)
+	}
+	if g.Errors["server_full"] == 0 {
+		t.Fatalf("expected server_full rejections, got errors %v", g.Errors)
+	}
+	if g.BackpressureOnset == nil {
+		t.Fatal("no backpressure onset detected despite rejections")
+	}
+	if g.BackpressureOnset.Reason != "rejections" && g.BackpressureOnset.Reason != "flush_ack_p99" {
+		t.Errorf("onset reason = %q", g.BackpressureOnset.Reason)
+	}
+}
+
+// TestSearchFindsCeiling: with admission capped at one session, the
+// doubling climb must fail fast and report a bounded sustainable rate.
+func TestSearchFindsCeiling(t *testing.T) {
+	addr, _ := startBackend(t, server.Config{MaxSessions: 2})
+	_, res, err := Search(context.Background(),
+		Config{
+			Addr:          addr,
+			SessionEvents: 3000,
+			FlushEvery:    256,
+			EventRate:     1500,
+			Mix:           []MixEntry{{Kind: "random", Weight: 1}},
+			Seed:          5,
+		},
+		SearchConfig{StartRPS: 2, MaxRPS: 256, Window: 500 * time.Millisecond, ResolutionFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) < 2 {
+		t.Fatalf("search ran %d probes, want a climb: %+v", len(res.Probes), res)
+	}
+	var sawFail bool
+	for _, p := range res.Probes {
+		if !p.Pass {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		t.Fatalf("no probe failed against a 2-session server: %+v", res.Probes)
+	}
+	if res.MaxSustainableRPS >= 256 {
+		t.Errorf("max sustainable = %v, want below the rail", res.MaxSustainableRPS)
+	}
+}

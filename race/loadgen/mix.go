@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// MixEntry is one weighted workload class in the session mix.
+type MixEntry struct {
+	// Kind selects the generator: "dacapo" (a Table 1 cell, Name required),
+	// "channels" (channel-heavy synthetic), or "random" (mixed synthetic).
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name,omitempty"`
+	Weight float64 `json:"weight"`
+}
+
+// Key is the mix entry's display identity ("dacapo:avrora", "channels").
+func (m MixEntry) Key() string {
+	if m.Name != "" {
+		return m.Kind + ":" + m.Name
+	}
+	return m.Kind
+}
+
+// DefaultMix is used when no -mix flag is given: two DaCapo cells with
+// contrasting thread counts, plus the two synthetic generators.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{Kind: "dacapo", Name: "avrora", Weight: 2},
+		{Kind: "dacapo", Name: "pmd", Weight: 2},
+		{Kind: "channels", Weight: 1},
+		{Kind: "random", Weight: 1},
+	}
+}
+
+// ParseMix parses a "dacapo:avrora=2,channels=1,random=1" mix spec.
+// Weights default to 1; unknown kinds or DaCapo names are errors.
+func ParseMix(spec string) ([]MixEntry, error) {
+	var mix []MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		entry := MixEntry{Weight: 1}
+		if eq := strings.LastIndex(part, "="); eq >= 0 {
+			w, err := strconv.ParseFloat(part[eq+1:], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("mix %q: bad weight %q", part, part[eq+1:])
+			}
+			entry.Weight = w
+			part = part[:eq]
+		}
+		if kind, name, ok := strings.Cut(part, ":"); ok {
+			entry.Kind, entry.Name = kind, name
+		} else {
+			entry.Kind = part
+		}
+		switch entry.Kind {
+		case "dacapo":
+			if _, ok := workload.ProgramByName(entry.Name); !ok {
+				return nil, fmt.Errorf("mix %q: unknown DaCapo program %q", part, entry.Name)
+			}
+		case "channels", "random":
+			if entry.Name != "" {
+				return nil, fmt.Errorf("mix %q: %s takes no name", part, entry.Kind)
+			}
+		default:
+			return nil, fmt.Errorf("mix %q: unknown kind %q (want dacapo:<name>, channels, random)", part, entry.Kind)
+		}
+		mix = append(mix, entry)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix spec")
+	}
+	return mix, nil
+}
+
+// tracePool holds the pre-generated traces sessions stream. Generation is
+// the expensive part of a session (and deterministic given a seed), so it
+// happens once up front: the arrival loop must never stall on trace
+// synthesis or the generator would close its own loop and stop being
+// open-loop.
+type tracePool struct {
+	entries []poolEntry
+	total   float64 // sum of weights
+}
+
+type poolEntry struct {
+	mix    MixEntry
+	traces []*trace.Trace
+}
+
+// variantsPerEntry bounds pool memory while still giving sessions of one
+// class distinct streams (different seeds → different interleavings).
+const variantsPerEntry = 4
+
+// buildPool pre-generates variantsPerEntry traces of ≈events events for
+// every mix entry, seeding each variant from seed so runs are repeatable.
+func buildPool(mix []MixEntry, events int, seed int64) (*tracePool, error) {
+	p := &tracePool{}
+	for ei, m := range mix {
+		pe := poolEntry{mix: m}
+		for v := 0; v < variantsPerEntry; v++ {
+			vs := seed + int64(ei)*1000 + int64(v)
+			var tr *trace.Trace
+			switch m.Kind {
+			case "dacapo":
+				prog, ok := workload.ProgramByName(m.Name)
+				if !ok {
+					return nil, fmt.Errorf("unknown DaCapo program %q", m.Name)
+				}
+				// Generate divides the paper's event count by scaleDiv;
+				// choose the divisor that lands near the per-session budget.
+				div := int(prog.PaperEventsM * 1e6 / float64(events))
+				if div < 1 {
+					div = 1
+				}
+				tr = prog.Generate(div, vs)
+			case "channels":
+				tr = workload.Channels(workload.ChannelConfig{
+					Seed: vs, Threads: 6, Chans: 4, MaxCap: 2, Vars: 24, Locks: 2,
+					Events: events,
+				})
+			case "random":
+				tr = workload.Random(workload.RandomConfig{
+					Seed: vs, Threads: 8, Vars: 32, Locks: 4, Volatiles: 4,
+					Events: events, ForkJoin: true,
+				})
+			default:
+				return nil, fmt.Errorf("unknown workload kind %q", m.Kind)
+			}
+			pe.traces = append(pe.traces, tr)
+		}
+		p.entries = append(p.entries, pe)
+		p.total += m.Weight
+	}
+	return p, nil
+}
+
+// pick draws one trace by mix weight, then uniformly among the entry's
+// pre-generated variants.
+func (p *tracePool) pick(rng *rand.Rand) (MixEntry, *trace.Trace) {
+	target := rng.Float64() * p.total
+	for _, pe := range p.entries {
+		if target -= pe.mix.Weight; target < 0 {
+			return pe.mix, pe.traces[rng.Intn(len(pe.traces))]
+		}
+	}
+	pe := p.entries[len(p.entries)-1]
+	return pe.mix, pe.traces[rng.Intn(len(pe.traces))]
+}
+
+// describe renders the mix for the report's generator section.
+func describeMix(mix []MixEntry) string {
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = fmt.Sprintf("%s=%g", m.Key(), m.Weight)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+)
+
+// SearchConfig tunes the saturation search.
+type SearchConfig struct {
+	// StartRPS seeds the climb (default 1).
+	StartRPS float64
+	// MaxRPS caps the climb (default 4096) — a safety rail, not a target.
+	MaxRPS float64
+	// Window is how long each probe holds its flat rate (default 10s).
+	// Short windows trade confidence for wall-clock.
+	Window time.Duration
+	// ResolutionFrac stops the bisection once the bracket is within this
+	// fraction of the upper bound (default 0.1 — the answer is a capacity
+	// estimate, not a physical constant).
+	ResolutionFrac float64
+}
+
+func (s SearchConfig) withDefaults() SearchConfig {
+	if s.StartRPS <= 0 {
+		s.StartRPS = 1
+	}
+	if s.MaxRPS <= 0 {
+		s.MaxRPS = 4096
+	}
+	if s.Window <= 0 {
+		s.Window = 10 * time.Second
+	}
+	if s.ResolutionFrac <= 0 {
+		s.ResolutionFrac = 0.1
+	}
+	return s
+}
+
+// Search finds the maximum sustainable session-arrival rate: climb by
+// doubling until a probe breaks the SLO, then bisect the bracket. Each
+// probe is a flat-rate run of cfg (ramp fields overridden); "sustainable"
+// means no flush-ack p99 over SLOFlushP99, no typed rejections, and no
+// unclassified errors (which are harness violations, not load results).
+// The last report's Generator.Search carries the probe history; the
+// returned Report is from the final (highest passing, when one exists)
+// probe so the caller still gets a full document.
+func Search(ctx context.Context, cfg Config, scfg SearchConfig) (*Report, *SearchResult, error) {
+	cfg = cfg.withDefaults()
+	scfg = scfg.withDefaults()
+	result := &SearchResult{}
+
+	probe := func(rps float64) (*Report, SearchProbe, error) {
+		pcfg := cfg
+		pcfg.StartRPS, pcfg.StepRPS = 0, 0 // flat rate
+		pcfg.TargetRPS = rps
+		pcfg.Duration = scfg.Window
+		pcfg.StepEvery = scfg.Window
+		rep, err := Run(ctx, pcfg)
+		if err != nil {
+			return nil, SearchProbe{}, err
+		}
+		g := rep.Generator
+		p := SearchProbe{RPS: rps, FlushAckP99: g.FlushAckP99}
+		for _, st := range g.Steps {
+			p.Rejections += st.Rejections
+		}
+		switch {
+		case g.Unclassified > 0:
+			p.Reason = "unclassified_errors"
+		case p.Rejections > 0:
+			p.Reason = "rejections"
+		case g.FlushAckP99 > cfg.SLOFlushP99.Seconds() && g.FlushAckP50 > 0:
+			p.Reason = "flush_ack_p99"
+		case g.SessionsSkipped > 0:
+			// The generator itself saturated (MaxInFlight) — the server
+			// can't be credited with sustaining a rate we never offered.
+			p.Reason = "generator_saturated"
+		default:
+			p.Pass = true
+		}
+		result.Probes = append(result.Probes, p)
+		cfg.Logger.Info("search probe", "rps", rps, "pass", p.Pass, "reason", p.Reason,
+			"flush_p99_ms", p.FlushAckP99*1e3)
+		return rep, p, nil
+	}
+
+	// Climb: double until a probe fails (or the rail stops us).
+	var lastPass float64
+	var lastPassRep *Report
+	var firstFail float64
+	var lastRep *Report
+	for rps := scfg.StartRPS; rps <= scfg.MaxRPS; rps *= 2 {
+		rep, p, err := probe(rps)
+		if err != nil {
+			return nil, nil, err
+		}
+		lastRep = rep
+		if !p.Pass {
+			firstFail = rps
+			break
+		}
+		lastPass, lastPassRep = rps, rep
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if firstFail == 0 {
+		// Never failed below the rail: the answer is a lower bound.
+		result.MaxSustainableRPS = lastPass
+		if lastPassRep != nil {
+			lastPassRep.Generator.Search = result
+			return lastPassRep, result, nil
+		}
+		return lastRep, result, nil
+	}
+
+	// Bisect (lastPass, firstFail) until the bracket is tight enough.
+	lo, hi := lastPass, firstFail
+	for hi-lo > hi*scfg.ResolutionFrac && ctx.Err() == nil {
+		mid := (lo + hi) / 2
+		rep, p, err := probe(mid)
+		if err != nil {
+			return nil, nil, err
+		}
+		lastRep = rep
+		if p.Pass {
+			lo, lastPassRep = mid, rep
+		} else {
+			hi = mid
+		}
+	}
+	result.MaxSustainableRPS = lo
+	final := lastPassRep
+	if final == nil {
+		final = lastRep
+	}
+	final.Generator.Search = result
+	return final, result, nil
+}

@@ -135,6 +135,9 @@ func TestMetricsJSONBackCompat(t *testing.T) {
 		"raced_events_analyzed_total", "raced_events_enqueued_total",
 		"raced_sessions_active", "raced_ingest_queue_depth_bucket",
 		"raced_flush_ack_seconds_count", "raced_engine_events_fed_total",
+		"raced_ingest_queue_wait_seconds_bucket",
+		`raced_sessions_rejected_total{reason="full"}`,
+		`raced_sessions_rejected_total{reason="draining"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %s", want)
@@ -204,5 +207,83 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		if !strings.HasPrefix(strings.TrimSpace(body), "{") {
 			t.Errorf("Accept %q body is not a JSON object", accept)
 		}
+	}
+}
+
+// TestRejectedReasonSplit: admission rejections are counted under their
+// reason label, and the JSON snapshot's sessions_rejected stays the sum —
+// the raceload harness keys its backpressure-onset detection on the
+// reason="full" / reason="draining" series specifically.
+func TestRejectedReasonSplit(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(Config{Registry: reg, MaxSessions: 1})
+	defer srv.Close()
+
+	// Bad config first — once the pool is full, the admission precheck
+	// fires before sink construction and everything counts as "full".
+	if _, err := srv.OpenSession(SessionConfig{Analyses: []string{"no-such-analysis"}}); err == nil {
+		t.Fatal("open with unknown analysis succeeded")
+	}
+	if _, err := srv.OpenSession(SessionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.OpenSession(SessionConfig{}); err != ErrServerFull {
+		t.Fatalf("second open = %v, want ErrServerFull", err)
+	}
+
+	var b strings.Builder
+	if err := obs.WriteText(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`raced_sessions_rejected_total{reason="full"} 1`,
+		`raced_sessions_rejected_total{reason="config"} 1`,
+		`raced_sessions_rejected_total{reason="draining"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if got := srv.Metrics().SessionsRejected; got != 2 {
+		t.Errorf("sessions_rejected sum = %d, want 2", got)
+	}
+}
+
+// TestQueueWaitHistogram: every accepted batch lands one observation in
+// raced_ingest_queue_wait_seconds (zero when a slot was free), so the
+// blocked fraction is count-above-zero over count.
+func TestQueueWaitHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(Config{Registry: reg, QueueDepth: 2})
+	defer srv.Close()
+	sess, err := srv.OpenSession(SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workload.ProgramByName("avrora")
+	tr := p.Generate(400000, 3)
+	const batches = 8
+	per := len(tr.Events) / batches
+	for i := 0; i < batches; i++ {
+		batch := append([]race.Event(nil), tr.Events[i*per:(i+1)*per]...)
+		if err := sess.Feed(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "raced_ingest_queue_wait_seconds" && s.Hist != nil {
+			count = s.Hist.Count
+		}
+	}
+	if count != batches {
+		t.Errorf("queue-wait observations = %d, want %d (one per accepted batch)", count, batches)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

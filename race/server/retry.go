@@ -49,6 +49,12 @@ type ReliableSession struct {
 	pending []race.Event // events fed after acked — the replay buffer
 	closed  bool
 	err     error
+
+	// Timing seams, overridden only by tests: the backoff schedule is a
+	// correctness property (bounded growth, jitter spread) that must be
+	// assertable without real sleeps or a real entropy source.
+	rand63 func(n int64) int64                    // jitter source (rand.Int63n)
+	sleep  func(d time.Duration) <-chan time.Time // backoff wait (time.After)
 }
 
 var _ race.EventSink = (*ReliableSession)(nil)
@@ -159,6 +165,8 @@ func newReliable(ctx context.Context, addr string, opts []ReliableOption) *Relia
 		addr:      addr,
 		policy:    RetryPolicy{MaxAttempts: 1}, // single immediate reconnect; WithRetry adds backoff
 		batchSize: DefaultClientBatch,
+		rand63:    rand.Int63n,
+		sleep:     time.After,
 	}
 	for _, opt := range opts {
 		opt(rs)
@@ -227,14 +235,8 @@ func (s *ReliableSession) reconnect() error {
 	var lastErr error
 	for attempt := 0; attempt < s.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			delay := s.policy.BaseDelay << (attempt - 1)
-			if delay <= 0 || delay > s.policy.MaxDelay {
-				delay = s.policy.MaxDelay
-			}
-			// Uniform jitter in [0.5, 1.5) of the nominal delay.
-			delay = delay/2 + time.Duration(rand.Int63n(int64(delay)))
 			select {
-			case <-time.After(delay):
+			case <-s.sleep(s.backoffDelay(attempt)):
 			case <-s.ctx.Done():
 				return s.fail(context.Cause(s.ctx))
 			}
@@ -280,11 +282,26 @@ func (s *ReliableSession) reconnect() error {
 	return s.fail(fmt.Errorf("server: reconnecting session %s: %w", s.id, lastErr))
 }
 
-// isResumeRacing recognizes resume rejections that clear on their own while
-// a migration is in flight: the source has suspended the session but the
-// target has not recovered it yet.
+// backoffDelay computes the wait before reconnect attempt n (1-based; the
+// zeroth attempt is immediate): BaseDelay doubled per attempt, capped at
+// MaxDelay — the shift overflowing to non-positive also caps — with
+// uniform jitter in [0.5, 1.5) of the nominal delay so a fleet of clients
+// resuming after one backend restart does not reconnect in lockstep.
+func (s *ReliableSession) backoffDelay(attempt int) time.Duration {
+	delay := s.policy.BaseDelay << (attempt - 1)
+	if delay <= 0 || delay > s.policy.MaxDelay {
+		delay = s.policy.MaxDelay
+	}
+	return delay/2 + time.Duration(s.rand63(int64(delay)))
+}
+
+// isResumeRacing recognizes resume rejections that clear on their own:
+// during a migration the source has suspended the session but the target
+// has not recovered it yet, and after a network drop the server may not
+// have reaped the dead connection when the client is already back — the
+// session still reads as attached (busy) until the reaper runs.
 func isResumeRacing(err error) bool {
-	return errors.Is(err, ErrSuspended) || errors.Is(err, ErrUnknown)
+	return errors.Is(err, ErrSuspended) || errors.Is(err, ErrUnknown) || errors.Is(err, ErrBusy)
 }
 
 func (s *ReliableSession) fail(err error) error {

@@ -193,7 +193,7 @@ type metrics struct {
 	opened    *obs.Counter
 	closed    *obs.Counter
 	evicted   *obs.Counter
-	rejected  *obs.Counter
+	rejected  rejectedCounters
 	failed    *obs.Counter
 	suspended *obs.Counter // single-session suspends (migration sources)
 	imported  *obs.Counter // single-session recoveries (migration targets)
@@ -208,10 +208,31 @@ type metrics struct {
 	corruptFrames    *obs.Counter // raced_corrupt_frames_total
 
 	queueDepth    *obs.Histogram // sampled at each Feed
+	queueWait     *obs.Histogram // time a batch blocked on a full queue
 	flushAck      *obs.Histogram // Flush enqueue → barrier ack
 	journalAppend *obs.Histogram // write-ahead AppendBatch wall time
 
 	store store.Metrics // rotation / recovery / fsync timings
+}
+
+// rejectedCounters splits raced_sessions_rejected_total by reason so a
+// load harness can tell admission-control backpressure (full, draining)
+// from client mistakes (config, id_conflict) and disk degradation (io).
+type rejectedCounters struct {
+	full       *obs.Counter // pool at MaxSessions
+	draining   *obs.Counter // server in drain mode
+	config     *obs.Counter // bad session config (unknown analysis, …)
+	idConflict *obs.Counter // requested id live, finished, or on disk
+	io         *obs.Counter // persistence init failed (degraded disk)
+	shutdown   *obs.Counter // open raced server Close
+}
+
+// total sums every reason — the legacy single-counter view kept by the
+// JSON MetricsSnapshot. Each Value() is an atomic load; the sum is as
+// consistent as any multi-counter scrape.
+func (r *rejectedCounters) total() uint64 {
+	return r.full.Value() + r.draining.Value() + r.config.Value() +
+		r.idConflict.Value() + r.io.Value() + r.shutdown.Value()
 }
 
 // init registers the server metric catalog. s is only captured by the
@@ -230,7 +251,15 @@ func (m *metrics) init(reg *obs.Registry, s *Server) {
 	m.opened = reg.Counter("raced_sessions_opened_total", "Sessions admitted.")
 	m.closed = reg.Counter("raced_sessions_closed_total", "Sessions closed (including aborts; excluding evictions).")
 	m.evicted = reg.Counter("raced_sessions_evicted_total", "Sessions evicted after the idle timeout.")
-	m.rejected = reg.Counter("raced_sessions_rejected_total", "Session opens rejected (admission control, bad config, id conflicts).")
+	const rejectedHelp = "Session opens rejected, by reason (admission control, bad config, id conflicts, degraded disk)."
+	m.rejected = rejectedCounters{
+		full:       reg.Counter("raced_sessions_rejected_total", rejectedHelp, obs.L("reason", "full")),
+		draining:   reg.Counter("raced_sessions_rejected_total", rejectedHelp, obs.L("reason", "draining")),
+		config:     reg.Counter("raced_sessions_rejected_total", rejectedHelp, obs.L("reason", "config")),
+		idConflict: reg.Counter("raced_sessions_rejected_total", rejectedHelp, obs.L("reason", "id_conflict")),
+		io:         reg.Counter("raced_sessions_rejected_total", rejectedHelp, obs.L("reason", "io")),
+		shutdown:   reg.Counter("raced_sessions_rejected_total", rejectedHelp, obs.L("reason", "shutdown")),
+	}
 	m.failed = reg.Counter("raced_sessions_failed_total", "Sessions terminated by an ingestion or analysis error.")
 	m.suspended = reg.Counter("raced_sessions_suspended_total", "Single-session suspends (migration sources).")
 	m.imported = reg.Counter("raced_sessions_imported_total", "Single-session recoveries (migration targets).")
@@ -253,6 +282,8 @@ func (m *metrics) init(reg *obs.Registry, s *Server) {
 
 	m.queueDepth = reg.Histogram("raced_ingest_queue_depth",
 		"Session ingest-queue occupancy sampled at each accepted batch.", obs.DepthBuckets())
+	m.queueWait = reg.Histogram("raced_ingest_queue_wait_seconds",
+		"Time an accepted batch blocked on a full session ingest queue before enqueue (0 when a slot was free).", obs.LatencyBuckets())
 	m.flushAck = reg.Histogram("raced_flush_ack_seconds",
 		"Flush-barrier latency: enqueue to ack (journal fsync + engine sync behind queued work).", obs.LatencyBuckets())
 	m.journalAppend = reg.Histogram("raced_journal_append_seconds",
@@ -457,12 +488,12 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 	}
 	if s.draining {
 		s.mu.Unlock()
-		s.metrics.rejected.Add(1)
+		s.metrics.rejected.draining.Add(1)
 		return nil, ErrDraining
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
-		s.metrics.rejected.Add(1)
+		s.metrics.rejected.full.Add(1)
 		return nil, ErrServerFull
 	}
 	s.mu.Unlock()
@@ -475,7 +506,7 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 	}
 	sink, err := s.cfg.newSink(cfg, sess.onRace)
 	if err != nil {
-		s.metrics.rejected.Add(1)
+		s.metrics.rejected.config.Add(1)
 		return nil, err
 	}
 
@@ -488,7 +519,7 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 	if s.closed {
 		s.mu.Unlock()
 		abortSafe(sink)
-		s.metrics.rejected.Add(1)
+		s.metrics.rejected.shutdown.Add(1)
 		return nil, ErrServerClosed
 	}
 	if reqID != "" {
@@ -497,7 +528,7 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 		if live || fin || s.pendingIDs[reqID] {
 			s.mu.Unlock()
 			abortSafe(sink)
-			s.metrics.rejected.Add(1)
+			s.metrics.rejected.idConflict.Add(1)
 			return nil, fmt.Errorf("%w: %s", ErrIDTaken, reqID)
 		}
 		// Reserve the id across the unlocked persistence build, or two
@@ -524,7 +555,7 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 	if reqID != "" && persist && s.cfg.DataDir != "" {
 		if _, err := s.fsys().Stat(filepath.Join(s.sessionsRoot(), reqID)); err == nil {
 			abortSafe(sink)
-			s.metrics.rejected.Add(1)
+			s.metrics.rejected.idConflict.Add(1)
 			return nil, fmt.Errorf("%w (on disk): %s", ErrIDTaken, reqID)
 		}
 	}
@@ -532,7 +563,7 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 	if persist && s.cfg.DataDir != "" {
 		if err := sess.persistInit(); err != nil {
 			abortSafe(sink)
-			s.metrics.rejected.Add(1)
+			s.metrics.rejected.io.Add(1)
 			return nil, err
 		}
 	}
@@ -545,10 +576,11 @@ func (s *Server) openSession(reqID string, cfg SessionConfig, persist bool) (*Se
 		s.mu.Unlock()
 		sess.discardPersist()
 		abortSafe(sink) // reap a parallel engine's worker goroutines
-		s.metrics.rejected.Add(1)
 		if closed {
+			s.metrics.rejected.shutdown.Add(1)
 			return nil, ErrServerClosed
 		}
+		s.metrics.rejected.full.Add(1)
 		return nil, ErrServerFull
 	}
 	sess.lastActive = s.cfg.now()
@@ -742,7 +774,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		SessionsOpened:    s.metrics.opened.Value(),
 		SessionsClosed:    s.metrics.closed.Value(),
 		SessionsEvicted:   s.metrics.evicted.Value(),
-		SessionsRejected:  s.metrics.rejected.Value(),
+		SessionsRejected:  s.metrics.rejected.total(),
 		SessionsFailed:    s.metrics.failed.Value(),
 		SessionsSuspended: s.metrics.suspended.Value(),
 		SessionsImported:  s.metrics.imported.Value(),
@@ -1219,7 +1251,19 @@ func (sess *Session) FeedCtx(parent tracing.SpanContext, events []race.Event) er
 	// interleaving with a scrape.
 	sess.srv.metrics.enqueued.Add(uint64(len(events)))
 	sess.srv.metrics.queueDepth.Observe(float64(len(sess.work)))
-	sess.work <- workItem{events: events, trace: sp.Context()}
+	item := workItem{events: events, trace: sp.Context()}
+	select {
+	case sess.work <- item:
+		// Free slot: record a zero wait so the histogram's count matches
+		// accepted batches and the blocked fraction is count-above-zero.
+		sess.srv.metrics.queueWait.Observe(0)
+	default:
+		// Queue full: this send is the per-session backpressure stall the
+		// load harness correlates with client flush-ack p99.
+		start := sess.srv.cfg.now()
+		sess.work <- item
+		sess.srv.metrics.queueWait.ObserveDuration(sess.srv.cfg.now().Sub(start))
+	}
 	sess.mu.Lock()
 	sess.enqueued += uint64(len(events))
 	sess.mu.Unlock()
